@@ -1,0 +1,62 @@
+"""Section 4.3 / 3.2: clustering methods compared.
+
+Three methods: classic point-based DBSCAN [15] (the paper's stated
+baseline), the cell-based method of Section 3.2 (prunes neighbor checks via
+dense cells), and the approximate O(n) grid method of Section 4.3.  The
+paper reports the cell-based method faster than DBSCAN, and the approximate
+method ~2x faster again with nearly the same dense set.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.common import frame, write_result
+from repro.core import DBGCParams, cluster_approx, cluster_dbscan, cluster_exact
+from repro.eval import render_table
+
+
+def test_clustering_exact_vs_approx(benchmark):
+    from repro.datasets import SensorModel
+
+    params = DBGCParams()
+    sensor = SensorModel.benchmark_default()
+    min_pts = params.min_pts_for_sensor(sensor.u_theta, sensor.u_phi)
+    cloud = frame("kitti-campus")
+    xyz = cloud.xyz
+
+    start = time.perf_counter()
+    dbscan = cluster_dbscan(xyz, params.eps, min_pts)
+    dbscan_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    exact = cluster_exact(xyz, params.eps, min_pts, params.leaf_side)
+    exact_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    approx = cluster_approx(xyz, params.eps, min_pts)
+    approx_seconds = time.perf_counter() - start
+
+    agreement = float((exact == approx).mean())
+    speedup = exact_seconds / approx_seconds
+    text = render_table(
+        ["method", "seconds", "dense fraction"],
+        [
+            ["DBSCAN (point-based)", f"{dbscan_seconds:.3f}", f"{dbscan.mean():.1%}"],
+            ["exact (cell-based)", f"{exact_seconds:.3f}", f"{exact.mean():.1%}"],
+            ["approximate (grid)", f"{approx_seconds:.3f}", f"{approx.mean():.1%}"],
+        ],
+        title="Section 4.3: clustering methods on kitti-campus",
+    )
+    text += f"\nlabel agreement: {agreement:.1%}; speedup: {speedup:.1f}x"
+    text += "\n(paper: nearly identical dense sets, ~2x clustering speedup)"
+    write_result("sec43_clustering", text)
+    assert agreement > 0.8
+    assert abs(exact.mean() - approx.mean()) < 0.1
+    assert speedup > 1.5
+    # Paper ordering: cell-based prunes checks and beats DBSCAN.
+    assert exact_seconds < dbscan_seconds * 1.05
+    benchmark.pedantic(
+        cluster_approx, args=(xyz, params.eps, min_pts), rounds=1, iterations=1
+    )

@@ -1,0 +1,71 @@
+"""Section 4.4: end-to-end throughput, bandwidth, latency and memory.
+
+Streams frames through the client -> shaped 4G uplink -> server pipeline
+and checks the paper's headline system claims: the raw sensor stream does
+not fit a 4G uplink, the compressed stream does, and the pipeline stores
+frames online.
+"""
+
+import pytest
+
+from benchmarks.common import frame, write_result
+from repro.core import DBGCParams
+from repro.datasets import SensorModel
+from repro.eval import peak_rss_bytes, render_table
+from repro.system import BandwidthShaper, DbgcClient, DbgcServer, SqliteFrameStore
+
+N_FRAMES = 3
+Q = 0.02
+
+
+def test_e2e_system(benchmark):
+    sensor = SensorModel.benchmark_default()
+    frames = [frame("kitti-city", i) for i in range(N_FRAMES)]
+    uplink = BandwidthShaper.mobile_4g()
+
+    def run_pipeline():
+        store = SqliteFrameStore()
+        server = DbgcServer(store, mode="decompress").start()
+        client = DbgcClient(
+            server.address, params=DBGCParams(q_xyz=Q), channel=uplink
+        )
+        for index, cloud in enumerate(frames):
+            client.send_frame(index, cloud)
+        client.close()
+        server.join()
+        client.merge_receipts(server.receipts)
+        assert len(store) == N_FRAMES
+        return client.report
+
+    report = benchmark.pedantic(run_pipeline, rounds=1, iterations=1)
+
+    fps = sensor.frames_per_second
+    raw_mbps = 8 * frames[0].nbytes_raw() * fps / 1e6
+    compressed_mbps = report.bandwidth_mbps(fps)
+    full_scale_raw_mbps = SensorModel.velodyne_hdl64e().raw_frame_bits() * fps / 1e6
+    rows = [
+        ["raw stream (this sensor)", f"{raw_mbps:.1f} Mbps",
+         "no" if raw_mbps > uplink.bandwidth_mbps else "yes"],
+        ["raw stream (full HDL-64E)", f"{full_scale_raw_mbps:.1f} Mbps", "no"],
+        ["compressed stream", f"{compressed_mbps:.2f} Mbps",
+         "yes" if compressed_mbps <= uplink.bandwidth_mbps else "no"],
+        ["mean compress latency", f"{report.mean_compress_latency:.2f} s", ""],
+        ["mean transfer latency", f"{report.mean_transfer_latency:.2f} s", ""],
+        ["mean total latency", f"{report.mean_total_latency:.2f} s", ""],
+        ["pipeline throughput", f"{report.throughput_fps():.2f} fps", ""],
+        ["peak RSS", f"{peak_rss_bytes() / 1e6:.0f} MB", ""],
+    ]
+    text = render_table(
+        ["quantity", "value", "fits 4G (8.2 Mbps)?"],
+        rows,
+        title=f"Section 4.4: end-to-end system, q = {Q} m, {N_FRAMES} frames",
+    )
+    text += (
+        "\n(paper, C++ at 10 fps full HDL-64E: raw 96 Mbps does not fit; "
+        "B ~= 6 Mbps fits; ~0.7 s capture-to-storage)"
+    )
+    write_result("sec44_e2e_system", text)
+    # Paper's headline claims, scaled: raw exceeds 4G, compressed fits.
+    assert raw_mbps > uplink.bandwidth_mbps or full_scale_raw_mbps > uplink.bandwidth_mbps
+    assert compressed_mbps <= uplink.bandwidth_mbps
+    assert report.mean_total_latency > 0

@@ -1,0 +1,33 @@
+"""Figure 10: ratio vs the percentage of points compressed by the octree.
+
+The paper manually varies the fraction of nearest points handed to the
+octree from 0% (everything coordinate-coded) to 100% (pure octree) and
+shows a mixture beats both extremes, with the density-based clustering
+choice near the top.  The Section 4.3 point split (dense/sparse/outlier
+percentages) is reported alongside.
+"""
+
+import pytest
+
+from benchmarks.common import frame, write_result
+from repro.eval.experiments import fig10_split
+from repro.eval.harness import DbgcGeometryCompressor
+
+
+def test_fig10_split_sweep(benchmark):
+    result = fig10_split()
+    write_result("fig10_split", result.text)
+    ratios = result.data["ratios"]
+    # Paper shape: a mixture beats both extremes.
+    best_interior = max(ratios[1:-1])
+    assert best_interior > ratios[0]
+    assert best_interior > ratios[-1]
+    # The clustered configuration is competitive with the best manual split.
+    assert result.data["clustered_ratio"] > 0.85 * best_interior
+    # The Section 4.3 split: sizable dense share, ~1% outliers.
+    assert 0.1 < result.data["dense_fraction"] < 0.6
+    assert result.data["outlier_fraction"] < 0.05
+    bench_codec = DbgcGeometryCompressor(0.02)
+    benchmark.pedantic(
+        bench_codec.compress, args=(frame("kitti-city"),), rounds=1, iterations=1
+    )

@@ -1,0 +1,30 @@
+"""Figure 11: the DBGC ablations -Radial, -Group, -Conversion.
+
+The paper disables one technique at a time and reports each variant's
+compression ratio relative to full DBGC on the campus scene across error
+bounds (-Radial ~88%, -Group ~85%, -Conversion ~29% of DBGC on average).
+See EXPERIMENTS.md for the measured-vs-paper magnitude analysis.
+"""
+
+import pytest
+
+from benchmarks.common import frame, write_result
+from repro.core import DBGCParams
+from repro.eval.experiments import fig11_ablation
+from repro.eval.harness import DbgcGeometryCompressor
+
+
+def test_fig11_ablations(benchmark):
+    result = fig11_ablation()
+    write_result("fig11_ablation", result.text)
+    relative = result.data["relative"]
+    # Paper shape: every ablation loses (or at worst ties within noise);
+    # -Conversion loses by far the most.
+    for name, rel in relative.items():
+        assert rel < 1.02, name
+    assert relative["-Conversion"] == min(relative.values())
+    assert relative["-Group"] < 0.98
+    codec = DbgcGeometryCompressor(0.02, params=DBGCParams(radial_reference=False))
+    benchmark.pedantic(
+        codec.compress, args=(frame("kitti-campus"),), rounds=1, iterations=1
+    )

@@ -1,0 +1,44 @@
+"""Figure 12: compression and decompression time vs error bound.
+
+Wall-clock per method on the city scene.  Absolute numbers are pure-Python
+and thus far from the paper's C++ prototype (DESIGN.md §4); the reported
+shape is the method ordering and the mild decrease of DBGC's times as the
+bound grows.
+"""
+
+import pytest
+
+from benchmarks.common import frame, write_result
+from repro.eval import render_series, run_timing_sweep
+
+Q_SWEEP = [0.002, 0.005, 0.01, 0.02]
+
+
+def test_fig12_timings(benchmark):
+    results = run_timing_sweep("kitti-city", Q_SWEEP)
+    compress: dict[str, list[float]] = {}
+    decompress: dict[str, list[float]] = {}
+    for r in results:
+        compress.setdefault(r.method, []).append(r.compress_seconds)
+        decompress.setdefault(r.method, []).append(r.decompress_seconds)
+    text = render_series(
+        "q (cm)",
+        [q * 100 for q in Q_SWEEP],
+        compress,
+        title="Figure 12a: compression time (s), kitti-city",
+    )
+    text += "\n\n" + render_series(
+        "q (cm)",
+        [q * 100 for q in Q_SWEEP],
+        decompress,
+        title="Figure 12b: decompression time (s), kitti-city",
+    )
+    write_result("fig12_time", text)
+    for times in list(compress.values()) + list(decompress.values()):
+        assert all(t > 0 for t in times)
+    # Time a single DBGC decompression for the benchmark table.
+    from repro.eval import DbgcGeometryCompressor
+
+    codec = DbgcGeometryCompressor(0.02)
+    payload = codec.compress(frame("kitti-city"))
+    benchmark.pedantic(codec.decompress, args=(payload,), rounds=1, iterations=1)

@@ -1,0 +1,34 @@
+"""Figure 13: DBGC time breakdown at q = 2 cm, plus memory usage.
+
+Compression splits into DEN (clustering), OCT (octree), COR (conversion),
+ORG (organization), SPA (stream coding), OUT (outliers); decompression
+into OCT / SPA / OUT.  The paper reports DEN/ORG/SPA dominating compression
+(31% / 22% / 44%) and SPA dominating decompression, with ~45 MB / ~12 MB
+peak memory.
+"""
+
+import pytest
+
+from benchmarks.common import frame, write_result
+from repro.eval.experiments import fig13_breakdown
+from repro.eval.harness import DbgcGeometryCompressor
+
+
+def test_fig13_breakdown(benchmark):
+    result = fig13_breakdown()
+    text = result.text + (
+        "\n(paper: DEN 31% / ORG 22% / SPA 44% of compression; "
+        "SPA dominates decompression)"
+    )
+    write_result("fig13_breakdown", text)
+    timings = result.data["compress_timings"]
+    total = sum(timings.values())
+    # Paper shape: DEN + ORG + SPA dominate compression; SPA dominates
+    # decompression.
+    assert (timings["den"] + timings["org"] + timings["spa"]) / total > 0.6
+    dec = result.data["decompress_timings"]
+    assert dec["spa"] == max(dec.values())
+    fresh = DbgcGeometryCompressor(0.02)
+    benchmark.pedantic(
+        fresh.compress, args=(frame("kitti-city"),), rounds=1, iterations=1
+    )

@@ -1,0 +1,28 @@
+"""Figure 3: octree compression ratio and point density vs subset radius.
+
+The paper selects concentric spheres of the city cloud around the sensor
+and shows that (a) the octree's ratio collapses as radius grows and (b) the
+point density falls with radius cubed — the observation motivating the
+dense/sparse split.
+"""
+
+import pytest
+
+from benchmarks.common import frame, write_result
+from repro.baselines import OctreeCompressor
+from repro.eval.experiments import fig3_radius
+
+
+def test_fig3_radius_sweep(benchmark):
+    result = fig3_radius()
+    write_result("fig03_radius", result.text)
+    ratios = result.data["ratios"]
+    densities = result.data["densities"]
+    # Paper shape: both fall monotonically with radius.
+    assert all(a > b for a, b in zip(ratios, ratios[1:]))
+    assert all(a > b for a, b in zip(densities, densities[1:]))
+    # Benchmark the full-cloud compression that anchors the sweep.
+    codec = OctreeCompressor(0.02)
+    benchmark.pedantic(
+        codec.compress, args=(frame("kitti-city"),), rounds=1, iterations=1
+    )

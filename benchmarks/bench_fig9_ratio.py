@@ -1,0 +1,35 @@
+"""Figure 9: compression ratio vs error bound, all scenes and methods.
+
+One benchmark per scene; each sweeps the paper's error-bound range over
+DBGC and the four baselines and renders the ratio series (the paper's
+Figures 9a-9f).  Expected shape: DBGC leads at every q; Octree_i does not
+beat Octree; the kd coder trails.
+"""
+
+import pytest
+
+from benchmarks.common import ALL_SCENES, frame, write_result
+from repro.eval.experiments import fig9_ratio
+from repro.eval.harness import make_compressors
+
+_FIGURE_IDS = dict(zip(ALL_SCENES, ["9a", "9b", "9c", "9d", "9e", "9f"]))
+
+
+@pytest.mark.parametrize("scene", ALL_SCENES)
+def test_fig9_ratio_sweep(benchmark, scene):
+    result = fig9_ratio(scene=scene)
+    text = result.text.replace("Figure 9:", f"Figure {_FIGURE_IDS[scene]}:")
+    write_result(f"fig09_{scene}", text)
+    series = result.data["series"]
+    # Paper shape: DBGC leads every baseline at the headline bound (2 cm).
+    final = {name: values[-1] for name, values in series.items()}
+    dbgc = final.pop("DBGC")
+    assert dbgc > max(final.values())
+    # Ratios grow monotonically with the error bound for every method.
+    for values in series.values():
+        assert all(a <= b * 1.05 for a, b in zip(values, values[1:]))
+    # Benchmark DBGC at the headline error bound.
+    dbgc_codec = make_compressors(0.02)[0]
+    benchmark.pedantic(
+        dbgc_codec.compress, args=(frame(scene),), rounds=1, iterations=1
+    )

@@ -1,0 +1,71 @@
+"""Design-choice sweeps: k, TH_r, and the number of radial groups.
+
+The paper fixes ``k = 10`` (swept 2..100), ``TH_r = 2 m`` and 3 groups
+after its own calibration; these benches regenerate the trade-off curves
+on a synthetic frame so the defaults can be sanity-checked per dataset.
+"""
+
+import pytest
+
+from benchmarks.common import frame, write_result
+from repro.core import DBGCParams
+from repro.eval import DbgcGeometryCompressor, render_series
+
+Q = 0.02
+
+
+def _ratio(params: DBGCParams) -> float:
+    cloud = frame("kitti-city")
+    codec = DbgcGeometryCompressor(Q, params=params)
+    return cloud.nbytes_raw() / len(codec.compress(cloud))
+
+
+def test_sweep_k(benchmark):
+    """eps = k * q: too small misses structure, too large is all-dense."""
+    ks = [2, 5, 10, 20, 50]
+    ratios = [_ratio(DBGCParams(k=k)) for k in ks]
+    text = render_series(
+        "k",
+        ks,
+        {"ratio": ratios},
+        title=f"Sweep of clustering radius factor k (eps = k*q), q = {Q} m",
+    )
+    text += "\n(paper: k = 10 chosen after sweeping 2..100)"
+    write_result("sweep_k", text)
+    # The paper's default must be within 10% of the sweep's best.
+    assert ratios[ks.index(10)] > 0.9 * max(ratios)
+    benchmark.pedantic(_ratio, args=(DBGCParams(k=10),), rounds=1, iterations=1)
+
+
+def test_sweep_th_r(benchmark):
+    """TH_r gates the reference recording: entropy-vs-L_ref trade-off."""
+    ths = [0.25, 0.5, 1.0, 2.0, 4.0]
+    ratios = [_ratio(DBGCParams(th_r=th)) for th in ths]
+    text = render_series(
+        "TH_r (m)",
+        ths,
+        {"ratio": ratios},
+        title=f"Sweep of the radial threshold TH_r, q = {Q} m",
+    )
+    text += "\n(paper: TH_r = 2 m, 'a radial jump beyond 2 m is an object boundary')"
+    write_result("sweep_th_r", text)
+    assert ratios[ths.index(2.0)] > 0.95 * max(ratios)
+    benchmark.pedantic(_ratio, args=(DBGCParams(th_r=2.0),), rounds=1, iterations=1)
+
+
+def test_sweep_n_groups(benchmark):
+    """Radial groups: quantizer slack vs per-group header overhead."""
+    ns = [1, 2, 3, 5, 8]
+    ratios = [_ratio(DBGCParams(n_groups=n)) for n in ns]
+    text = render_series(
+        "groups",
+        ns,
+        {"ratio": ratios},
+        title=f"Sweep of the number of radial groups, q = {Q} m",
+    )
+    text += "\n(paper: 'a small number of groups already achieves a high performance'; 3 used)"
+    write_result("sweep_n_groups", text)
+    # Grouping must beat the single group, and 3 must be near the best.
+    assert max(ratios[1:]) > ratios[0]
+    assert ratios[ns.index(3)] > 0.93 * max(ratios)
+    benchmark.pedantic(_ratio, args=(DBGCParams(n_groups=3),), rounds=1, iterations=1)

@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Frames are cached per (scene, index) so the many benchmarks that reuse the
+same input do not pay repeated simulation; rendered result tables are
+written to ``benchmarks/results/`` and echoed into the terminal summary by
+the local conftest, so ``pytest benchmarks/ --benchmark-only`` leaves a
+readable record of every reproduced table and figure.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+
+from repro.datasets import SensorModel, generate_frame
+from repro.geometry import PointCloud
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The paper sweeps q from 0.06 cm to 2.0 cm.
+Q_SWEEP = [0.0006, 0.002, 0.005, 0.01, 0.02]
+
+#: All six evaluation scenes (four KITTI + Apollo + Ford).
+ALL_SCENES = [
+    "kitti-campus",
+    "kitti-city",
+    "kitti-residential",
+    "kitti-road",
+    "apollo-urban",
+    "ford-campus",
+]
+
+
+@lru_cache(maxsize=32)
+def frame(scene: str, index: int = 0) -> PointCloud:
+    """A cached benchmark frame of the named scene."""
+    return generate_frame(scene, index, sensor=SensorModel.benchmark_default())
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a rendered table under benchmarks/results/ (and echo later)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

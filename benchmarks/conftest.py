@@ -1,0 +1,20 @@
+"""Benchmark-suite conftest: echo reproduced tables after the run."""
+
+from __future__ import annotations
+
+from benchmarks.common import RESULTS_DIR
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every table the benchmarks produced this session."""
+    if not RESULTS_DIR.exists():
+        return
+    files = sorted(RESULTS_DIR.glob("*.txt"))
+    if not files:
+        return
+    terminalreporter.section("reproduced paper tables and figures")
+    for path in files:
+        terminalreporter.write_line(f"--- {path.stem} ---")
+        for line in path.read_text().splitlines():
+            terminalreporter.write_line(line)
+        terminalreporter.write_line("")

@@ -1,0 +1,42 @@
+"""Quickstart: compress one LiDAR frame with DBGC and verify the result.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import DBGCCompressor, DBGCDecompressor, DBGCParams
+from repro.datasets import generate_frame
+
+
+def main() -> None:
+    # A synthetic Velodyne HDL-64E frame of a city street (~29 K points).
+    cloud = generate_frame("kitti-city", frame_index=0)
+    print(f"input cloud: {len(cloud)} points, raw size {cloud.nbytes_raw()} bytes")
+
+    # The paper's default error bound: 2 cm per dimension.
+    params = DBGCParams(q_xyz=0.02)
+    compressor = DBGCCompressor(params)
+    result = compressor.compress_detailed(cloud)
+
+    print(f"compressed size: {result.size} bytes")
+    print(f"compression ratio: {result.compression_ratio():.1f}x")
+    print(
+        f"point split: {result.n_dense} dense (octree), "
+        f"{result.n_sparse} sparse (polylines), {result.n_outliers} outliers"
+    )
+
+    # Decompression is self-contained: only the byte string is needed.
+    restored = DBGCDecompressor().decompress(result.payload)
+    assert len(restored) == len(cloud)
+
+    # Check the error-bound contract under the one-to-one mapping.
+    errors = np.linalg.norm(restored.xyz[result.mapping] - cloud.xyz, axis=1)
+    bound = np.sqrt(3.0) * params.q_xyz
+    print(f"max reconstruction error: {errors.max():.4f} m (bound {bound:.4f} m)")
+    assert errors.max() <= bound * (1 + 1e-6)
+    print("roundtrip OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""DBGC: Density-Based Geometry Compression for LiDAR Point Clouds.
+
+A from-scratch Python reproduction of Sun & Luo, EDBT 2023.  The package
+compresses single-frame LiDAR point clouds under a per-dimension error
+bound by splitting them into dense points (octree-coded), sparse points
+(polyline-organized spherical coordinate streams), and outliers
+(quadtree + z attribute).
+
+Quick start::
+
+    from repro import DBGCCompressor, DBGCDecompressor, DBGCParams
+    from repro.datasets import generate_frame
+
+    cloud = generate_frame("kitti-city", 0)
+    result = DBGCCompressor(DBGCParams(q_xyz=0.02)).compress_detailed(cloud)
+    restored = DBGCDecompressor().decompress(result.payload)
+
+Subpackages: :mod:`repro.core` (the scheme), :mod:`repro.baselines`
+(Octree / Octree_i / kd-tree / G-PCC re-implementations),
+:mod:`repro.entropy` (arithmetic / Huffman / LZ77 / deflate-style coders),
+:mod:`repro.octree` (tree codecs), :mod:`repro.geometry` (spatial
+substrate), :mod:`repro.datasets` (sensor simulator and I/O),
+:mod:`repro.system` (client/server pipeline), :mod:`repro.eval`
+(experiment harness).
+"""
+
+from repro.core import (
+    CompressionResult,
+    DBGCCompressor,
+    DBGCDecompressor,
+    DBGCParams,
+)
+from repro.geometry import PointCloud
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompressionResult",
+    "DBGCCompressor",
+    "DBGCDecompressor",
+    "DBGCParams",
+    "PointCloud",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Re-implemented baseline compressors (paper Section 4.1).
+
+The paper compares DBGC against four schemes; each is rebuilt here from its
+original description:
+
+- :class:`~repro.baselines.octree_baseline.OctreeCompressor` — the
+  breadth-first occupancy octree coder of Botsch et al. [7].
+- :class:`~repro.baselines.octree_i.OctreeICompressor` — Garcia et al.'s
+  improvement [21]: occupancy codes grouped (context-modeled) by the parent
+  node's occupancy code.
+- :class:`~repro.baselines.kdtree.KdTreeCompressor` — the kd-tree
+  point-count coder of Devillers & Gandoin, the geometry algorithm inside
+  Draco [23].
+- :class:`~repro.baselines.gpcc.GpccCompressor` — a simplified MPEG G-PCC
+  [33]: octree with neighbor-dependent entropy contexts and direct point
+  coding (IDCM) for isolated points.
+- :class:`~repro.baselines.generic.DeflateCompressor` — a general-purpose
+  quantize+Deflate baseline.
+- :class:`~repro.baselines.range_image.RangeImageCompressor` — the
+  image-based family (Tu et al. [54]): excellent on raw grid output, but
+  its tangential error on calibrated clouds is bounded by the grid pitch,
+  not by ``q_xyz`` — the paper's Section 1 accuracy critique.
+
+All share the :class:`~repro.baselines.base.GeometryCompressor` interface
+and the per-dimension error-bound contract.
+"""
+
+from repro.baselines.base import GeometryCompressor
+from repro.baselines.generic import DeflateCompressor
+from repro.baselines.gpcc import GpccCompressor
+from repro.baselines.kdtree import KdTreeCompressor
+from repro.baselines.octree_baseline import OctreeCompressor
+from repro.baselines.octree_i import OctreeICompressor
+from repro.baselines.range_image import RangeImageCompressor
+
+__all__ = [
+    "DeflateCompressor",
+    "GeometryCompressor",
+    "GpccCompressor",
+    "KdTreeCompressor",
+    "OctreeCompressor",
+    "OctreeICompressor",
+    "RangeImageCompressor",
+]

@@ -1,0 +1,52 @@
+"""Common interface for whole-cloud geometry compressors."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.geometry.points import PointCloud
+
+__all__ = ["GeometryCompressor"]
+
+
+class GeometryCompressor(abc.ABC):
+    """A point cloud geometry codec honoring a per-dimension error bound.
+
+    Implementations guarantee: ``decompress(compress(pc))`` has the same
+    number of points as ``pc`` and there is a permutation (``mapping``)
+    under which every point's per-dimension error is at most ``q_xyz``
+    (spherical-coded DBGC points instead bound the Euclidean error by
+    ``sqrt(3) * q_xyz``; see DESIGN.md §4).
+    """
+
+    #: Display name used by benchmark tables.
+    name: str = "base"
+
+    def __init__(self, q_xyz: float) -> None:
+        if q_xyz <= 0:
+            raise ValueError(f"q_xyz must be positive, got {q_xyz}")
+        self.q_xyz = float(q_xyz)
+
+    @property
+    def leaf_side(self) -> float:
+        """Quantization cell side: twice the error bound."""
+        return 2.0 * self.q_xyz
+
+    @abc.abstractmethod
+    def compress(self, cloud: PointCloud) -> bytes:
+        """Compress the cloud into a self-contained byte string."""
+
+    @abc.abstractmethod
+    def decompress(self, data: bytes) -> PointCloud:
+        """Decompress to the codec's canonical point order."""
+
+    @abc.abstractmethod
+    def mapping(self, cloud: PointCloud) -> np.ndarray:
+        """Original-index -> decoded-index permutation for ``cloud``."""
+
+    def compression_ratio(self, cloud: PointCloud, bits_per_coordinate: int = 32) -> float:
+        """Convenience: raw size / compressed size for one cloud."""
+        compressed = self.compress(cloud)
+        return cloud.nbytes_raw(bits_per_coordinate) / max(len(compressed), 1)

@@ -1,0 +1,302 @@
+"""Command-line interface: ``dbgc``.
+
+Subcommands:
+
+- ``compress``   — point cloud file (.bin/.ply/.npz) -> .dbgc stream
+- ``decompress`` — .dbgc stream -> point cloud file
+- ``info``       — inspect a .dbgc stream's header and layout
+- ``simulate``   — generate a synthetic frame into a point cloud file
+- ``dataset``    — create/inspect a KITTI-layout archive of frames
+- ``verify``     — validate a .dbgc stream (optionally against the original)
+- ``reproduce``  — re-run one of the paper's tables/figures
+- ``bench``      — quick ratio comparison of all methods on one frame
+
+All commands run offline; see ``dbgc <command> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.container import unpack_container
+from repro.core.params import DBGCParams
+from repro.core.pipeline import DBGCCompressor, DBGCDecompressor
+from repro.datasets.frames import SCENE_BUILDERS, generate_frame
+from repro.datasets.io import (
+    load_kitti_bin,
+    load_npz,
+    load_ply,
+    save_kitti_bin,
+    save_npz,
+    save_ply,
+)
+from repro.datasets.sensors import SensorModel
+from repro.geometry.points import PointCloud
+
+__all__ = ["main"]
+
+
+def _load_cloud(path: Path) -> PointCloud:
+    suffix = path.suffix.lower()
+    if suffix == ".bin":
+        cloud, _ = load_kitti_bin(path)
+        return cloud
+    if suffix == ".ply":
+        return load_ply(path)
+    if suffix == ".npz":
+        return load_npz(path)
+    raise SystemExit(f"unsupported point cloud format {suffix!r} (use .bin/.ply/.npz)")
+
+
+def _save_cloud(cloud: PointCloud, path: Path) -> None:
+    suffix = path.suffix.lower()
+    if suffix == ".bin":
+        save_kitti_bin(cloud, path)
+    elif suffix == ".ply":
+        save_ply(cloud, path)
+    elif suffix == ".npz":
+        save_npz(cloud, path)
+    else:
+        raise SystemExit(f"unsupported output format {suffix!r} (use .bin/.ply/.npz)")
+
+
+def _sensor_from_args(args: argparse.Namespace) -> SensorModel:
+    sensor = SensorModel.velodyne_hdl64e()
+    if args.sensor_scale != 1.0:
+        sensor = sensor.scaled(args.sensor_scale)
+    return sensor
+
+
+def _add_sensor_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sensor-scale",
+        type=float,
+        default=0.5,
+        help="angular resolution scale of the HDL-64E model (default 0.5)",
+    )
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    cloud = _load_cloud(Path(args.input))
+    params = DBGCParams(q_xyz=args.q, strict_cartesian=args.strict)
+    compressor = DBGCCompressor(params, sensor=_sensor_from_args(args))
+    start = time.perf_counter()
+    result = compressor.compress_detailed(cloud)
+    elapsed = time.perf_counter() - start
+    Path(args.output).write_bytes(result.payload)
+    print(
+        f"{args.input}: {len(cloud)} points -> {result.size} bytes "
+        f"({result.compression_ratio():.1f}x) in {elapsed:.2f}s"
+    )
+    print(
+        f"  dense {result.n_dense} / sparse {result.n_sparse} / "
+        f"outliers {result.n_outliers}; q = {args.q} m"
+    )
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    payload = Path(args.input).read_bytes()
+    start = time.perf_counter()
+    cloud = DBGCDecompressor().decompress(payload)
+    elapsed = time.perf_counter() - start
+    _save_cloud(cloud, Path(args.output))
+    print(f"{args.input}: {len(cloud)} points restored in {elapsed:.2f}s -> {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    payload = Path(args.input).read_bytes()
+    header, dense, groups, outlier, attrs = unpack_container(payload)
+    print(f"{args.input}: {len(payload)} bytes, DBGC v1")
+    print(f"  error bound q_xyz : {header.q_xyz} m")
+    print(f"  angular steps     : u_theta={header.u_theta:.6f}, u_phi={header.u_phi:.6f}")
+    print(
+        f"  coding flags      : spherical={header.spherical_conversion}, "
+        f"radial_ref={header.radial_reference}, strict={header.strict_cartesian}"
+    )
+    print(f"  dense stream      : {len(dense)} bytes")
+    for i, group in enumerate(groups):
+        print(f"  sparse group {i}    : {len(group)} bytes")
+    print(f"  outlier stream    : {len(outlier)} bytes")
+    if attrs:
+        print(f"  attribute block   : {len(attrs)} bytes")
+    cloud = DBGCDecompressor().decompress(payload)
+    print(f"  decoded points    : {len(cloud)}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    cloud = generate_frame(
+        args.scene, args.frame, sensor=_sensor_from_args(args), seed=args.seed
+    )
+    _save_cloud(cloud, Path(args.output))
+    print(f"{args.scene} frame {args.frame}: {len(cloud)} points -> {args.output}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.validation import validate_stream
+
+    payload = Path(args.input).read_bytes()
+    original = _load_cloud(Path(args.original)) if args.original else None
+    sensor = _sensor_from_args(args) if args.original else None
+    report = validate_stream(payload, original=original, sensor=sensor)
+    print(str(report))
+    return 0 if report.ok else 1
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.datasets.archive import archive_info, write_archive
+
+    if args.action == "create":
+        root = write_archive(
+            args.path,
+            args.scene,
+            args.frames,
+            sensor=_sensor_from_args(args),
+            seed=args.seed,
+        )
+        info = archive_info(root)
+        total = sum(info["point_counts"])
+        print(f"{root}: {info['n_frames']} frames of {info['scene']}, {total} points")
+    else:
+        info = archive_info(args.path)
+        print(f"{args.path}: {info['n_frames']} frames of {info['scene']}")
+        print(f"  seed {info['seed']}, sensor {info['sensor']['name']} "
+              f"({info['sensor']['n_beams']} beams x {info['sensor']['azimuth_steps']} steps)")
+        print(f"  points per frame: {info['point_counts']}")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.eval.experiments import list_experiments, reproduce
+
+    sensor = _sensor_from_args(args)
+    names = list_experiments() if args.experiment == "all" else [args.experiment]
+    for name in names:
+        kwargs = {"sensor": sensor}
+        if name == "fig9":
+            kwargs["scene"] = args.scene
+        result = reproduce(name, **kwargs)
+        print(result.text)
+        print()
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.eval.harness import make_compressors
+    from repro.eval.reporting import render_table
+
+    sensor = _sensor_from_args(args)
+    if args.input:
+        cloud = _load_cloud(Path(args.input))
+        label = args.input
+    else:
+        cloud = generate_frame(args.scene, 0, sensor=sensor)
+        label = args.scene
+    rows = []
+    for compressor in make_compressors(args.q, sensor=sensor):
+        start = time.perf_counter()
+        payload = compressor.compress(cloud)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            [compressor.name, cloud.nbytes_raw() / len(payload), f"{elapsed:.2f}s"]
+        )
+    print(
+        render_table(
+            ["method", "ratio", "compress time"],
+            rows,
+            title=f"{label}: {len(cloud)} points, q = {args.q} m",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dbgc",
+        description="Density-based geometry compression for LiDAR point clouds",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="compress a point cloud file")
+    p.add_argument("input", help="input cloud (.bin/.ply/.npz)")
+    p.add_argument("output", help="output .dbgc stream")
+    p.add_argument("--q", type=float, default=0.02, help="error bound in meters")
+    p.add_argument(
+        "--strict", action="store_true", help="hard per-dimension error bound"
+    )
+    _add_sensor_arg(p)
+    p.set_defaults(func=_cmd_compress)
+
+    p = sub.add_parser("decompress", help="decompress a .dbgc stream")
+    p.add_argument("input", help="input .dbgc stream")
+    p.add_argument("output", help="output cloud (.bin/.ply/.npz)")
+    p.set_defaults(func=_cmd_decompress)
+
+    p = sub.add_parser("info", help="inspect a .dbgc stream")
+    p.add_argument("input", help="input .dbgc stream")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("simulate", help="generate a synthetic LiDAR frame")
+    p.add_argument("scene", choices=sorted(SCENE_BUILDERS), help="scene name")
+    p.add_argument("output", help="output cloud (.bin/.ply/.npz)")
+    p.add_argument("--frame", type=int, default=0, help="frame index on the drive")
+    p.add_argument("--seed", type=int, default=0, help="scene random seed")
+    _add_sensor_arg(p)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("dataset", help="create or inspect a frame archive")
+    p.add_argument("action", choices=["create", "info"])
+    p.add_argument("path", help="archive directory")
+    p.add_argument("--scene", default="kitti-city", choices=sorted(SCENE_BUILDERS))
+    p.add_argument("--frames", type=int, default=5, help="frames to generate")
+    p.add_argument("--seed", type=int, default=0)
+    _add_sensor_arg(p)
+    p.set_defaults(func=_cmd_dataset)
+
+    from repro.eval.experiments import list_experiments
+
+    p = sub.add_parser("reproduce", help="re-run a paper experiment")
+    p.add_argument(
+        "experiment",
+        choices=list_experiments() + ["all"],
+        help="which table/figure to regenerate",
+    )
+    p.add_argument("--scene", default="kitti-city", choices=sorted(SCENE_BUILDERS))
+    _add_sensor_arg(p)
+    p.set_defaults(func=_cmd_reproduce)
+
+    p = sub.add_parser("verify", help="validate a .dbgc stream")
+    p.add_argument("input", help="input .dbgc stream")
+    p.add_argument(
+        "--original",
+        help="original cloud file: also verify the error-bound contract",
+    )
+    _add_sensor_arg(p)
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("bench", help="compare all methods on one frame")
+    p.add_argument("--scene", default="kitti-city", choices=sorted(SCENE_BUILDERS))
+    p.add_argument("--input", help="use a cloud file instead of a synthetic frame")
+    p.add_argument("--q", type=float, default=0.02, help="error bound in meters")
+    _add_sensor_arg(p)
+    p.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""The paper's contribution: the DBGC compression scheme.
+
+Public entry points:
+
+- :class:`~repro.core.params.DBGCParams` — scheme configuration.
+- :class:`~repro.core.pipeline.DBGCCompressor` /
+  :class:`~repro.core.pipeline.DBGCDecompressor` — end-to-end codec.
+- The individual components (clustering, polyline organization, sparse
+  coordinate codec, outlier codec) for ablations and tests.
+"""
+
+from repro.core.clustering import (
+    cluster_approx,
+    cluster_dbscan,
+    cluster_exact,
+    split_by_fraction,
+)
+from repro.core.grouping import split_into_groups
+from repro.core.params import DBGCParams
+from repro.core.pipeline import CompressionResult, DBGCCompressor, DBGCDecompressor
+from repro.core.polyline import organize_polylines
+
+__all__ = [
+    "CompressionResult",
+    "DBGCCompressor",
+    "DBGCDecompressor",
+    "DBGCParams",
+    "cluster_approx",
+    "cluster_dbscan",
+    "cluster_exact",
+    "organize_polylines",
+    "split_by_fraction",
+    "split_into_groups",
+]

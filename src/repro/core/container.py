@@ -1,0 +1,125 @@
+"""Final bit-sequence layout (paper Section 3.7, Figure 8).
+
+The container records the error bound, the coding flags and the sensor's
+angular steps, followed by the three length-prefixed components: the octree
+stream for dense points, one coordinate stream per radial group (each group
+carries its own ``r_max`` inside, Figure 8b), and the outlier stream.  The
+header makes the decompressor fully self-contained.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.params import DBGCParams
+from repro.entropy.varint import decode_uvarint, encode_uvarint
+
+__all__ = ["ContainerHeader", "pack_container", "unpack_container"]
+
+_MAGIC = b"DBGC"
+_VERSION = 1
+_FIXED = struct.Struct("<4d")  # q_xyz, u_theta, u_phi, th_r
+
+_FLAG_SPHERICAL = 1
+_FLAG_RADIAL = 2
+_FLAG_STRICT = 4
+
+
+@dataclass(frozen=True)
+class ContainerHeader:
+    """Decoded container metadata."""
+
+    q_xyz: float
+    u_theta: float
+    u_phi: float
+    th_r: float
+    spherical_conversion: bool
+    radial_reference: bool
+    strict_cartesian: bool
+
+    def to_params(self, base: DBGCParams | None = None) -> DBGCParams:
+        """Reconstruct the params fields the decompressor needs."""
+        base = base if base is not None else DBGCParams()
+        return base.with_updates(
+            q_xyz=self.q_xyz,
+            th_r=self.th_r,
+            spherical_conversion=self.spherical_conversion,
+            radial_reference=self.radial_reference,
+            strict_cartesian=self.strict_cartesian,
+        )
+
+
+def pack_container(
+    params: DBGCParams,
+    u_theta: float,
+    u_phi: float,
+    dense_payload: bytes,
+    group_payloads: list[bytes],
+    outlier_payload: bytes,
+    attribute_payload: bytes = b"",
+) -> bytes:
+    """Assemble the final bit sequence B.
+
+    ``attribute_payload`` is an optional trailing block carrying per-point
+    attributes (e.g. intensity) in decoded point order.
+    """
+    out = bytearray(_MAGIC)
+    out.append(_VERSION)
+    flags = 0
+    if params.spherical_conversion:
+        flags |= _FLAG_SPHERICAL
+    if params.radial_reference:
+        flags |= _FLAG_RADIAL
+    if params.strict_cartesian:
+        flags |= _FLAG_STRICT
+    out.append(flags)
+    out += _FIXED.pack(params.q_xyz, u_theta, u_phi, params.th_r)
+    encode_uvarint(len(dense_payload), out)
+    out += dense_payload
+    encode_uvarint(len(group_payloads), out)
+    for payload in group_payloads:
+        encode_uvarint(len(payload), out)
+        out += payload
+    encode_uvarint(len(outlier_payload), out)
+    out += outlier_payload
+    encode_uvarint(len(attribute_payload), out)
+    out += attribute_payload
+    return bytes(out)
+
+
+def unpack_container(
+    data: bytes,
+) -> tuple[ContainerHeader, bytes, list[bytes], bytes, bytes]:
+    """Split B back into (header, dense, groups, outlier, attributes)."""
+    if data[:4] != _MAGIC:
+        raise ValueError("not a DBGC stream (bad magic)")
+    if data[4] != _VERSION:
+        raise ValueError(f"unsupported DBGC version {data[4]}")
+    flags = data[5]
+    q_xyz, u_theta, u_phi, th_r = _FIXED.unpack_from(data, 6)
+    pos = 6 + _FIXED.size
+    header = ContainerHeader(
+        q_xyz=q_xyz,
+        u_theta=u_theta,
+        u_phi=u_phi,
+        th_r=th_r,
+        spherical_conversion=bool(flags & _FLAG_SPHERICAL),
+        radial_reference=bool(flags & _FLAG_RADIAL),
+        strict_cartesian=bool(flags & _FLAG_STRICT),
+    )
+    size, pos = decode_uvarint(data, pos)
+    dense = data[pos : pos + size]
+    pos += size
+    n_groups, pos = decode_uvarint(data, pos)
+    groups = []
+    for _ in range(n_groups):
+        size, pos = decode_uvarint(data, pos)
+        groups.append(data[pos : pos + size])
+        pos += size
+    size, pos = decode_uvarint(data, pos)
+    outlier = data[pos : pos + size]
+    pos += size
+    size, pos = decode_uvarint(data, pos)
+    attributes = data[pos : pos + size]
+    return header, dense, groups, outlier, attributes

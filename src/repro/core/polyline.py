@@ -1,0 +1,145 @@
+"""Sparse point organization into polylines (paper Algorithm 1).
+
+Sparse points are organized into roughly horizontal polylines in the
+(theta, phi) plane: a polyline starts at a seed point and is extended to
+the right and to the left by repeatedly picking, among points whose polar
+angle stays within ``+- u_phi`` of the seed and whose azimuthal angle is
+within ``2 * u_theta`` of the current end, the one closest in 3D.
+
+Points that never join a line of length >= 2 are the *outliers* handed to
+the outlier compressor.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["organize_polylines"]
+
+
+class _AngularIndex:
+    """Bucketed index over (theta, phi) with lazy deletion."""
+
+    def __init__(self, theta: np.ndarray, phi: np.ndarray, u_theta: float, u_phi: float):
+        self.theta = theta
+        self.phi = phi
+        self.bin_theta = 2.0 * u_theta
+        self.bin_phi = 2.0 * u_phi
+        bt = np.floor(theta / self.bin_theta).astype(np.int64)
+        bp = np.floor(phi / self.bin_phi).astype(np.int64)
+        self._bt = bt
+        self._bp = bp
+        self.alive = np.ones(len(theta), dtype=bool)
+        self._buckets: dict[tuple[int, int], list[int]] = {}
+        for i in range(len(theta)):
+            self._buckets.setdefault((int(bt[i]), int(bp[i])), []).append(i)
+
+    def kill(self, index: int) -> None:
+        self.alive[index] = False
+
+    def candidates(
+        self,
+        theta_lo: float,
+        theta_hi: float,
+        phi_lo: float,
+        phi_hi: float,
+    ) -> list[int]:
+        """Alive points with theta in (theta_lo, theta_hi] and phi in range."""
+        bt_lo = int(np.floor(theta_lo / self.bin_theta))
+        bt_hi = int(np.floor(theta_hi / self.bin_theta))
+        bp_lo = int(np.floor(phi_lo / self.bin_phi))
+        bp_hi = int(np.floor(phi_hi / self.bin_phi))
+        theta = self.theta
+        phi = self.phi
+        alive = self.alive
+        found = []
+        for bt in range(bt_lo, bt_hi + 1):
+            for bp in range(bp_lo, bp_hi + 1):
+                for i in self._buckets.get((bt, bp), ()):
+                    if (
+                        alive[i]
+                        and theta_lo < theta[i] <= theta_hi
+                        and phi_lo <= phi[i] <= phi_hi
+                    ):
+                        found.append(i)
+        return found
+
+
+def organize_polylines(
+    theta: np.ndarray,
+    phi: np.ndarray,
+    xyz: np.ndarray,
+    u_theta: float,
+    u_phi: float,
+) -> list[np.ndarray]:
+    """Organize points into polylines; returns index arrays (length >= 1).
+
+    Parameters
+    ----------
+    theta, phi:
+        Azimuthal and polar angles per point.
+    xyz:
+        Cartesian coordinates, used for the closest-point tie-break
+        (``||p - p'||`` in Algorithm 1).
+    u_theta, u_phi:
+        Average angular sample steps from the sensor metadata.
+
+    Returns
+    -------
+    list of index arrays, one per polyline, each ordered left (small theta)
+    to right.  Single-point lines are included; the caller treats them as
+    outliers.
+    """
+    theta = np.asarray(theta, dtype=np.float64)
+    phi = np.asarray(phi, dtype=np.float64)
+    xyz = np.asarray(xyz, dtype=np.float64)
+    if u_theta <= 0 or u_phi <= 0:
+        raise ValueError("angular steps must be positive")
+    n = len(theta)
+    if n == 0:
+        return []
+    index = _AngularIndex(theta, phi, u_theta, u_phi)
+    polylines: list[np.ndarray] = []
+
+    def extend(end: int, phi_lo: float, phi_hi: float, direction: int) -> int | None:
+        """Best next point right (direction=+1) or left (-1) of ``end``."""
+        t_end = theta[end]
+        if direction > 0:
+            cands = index.candidates(t_end, t_end + 2.0 * u_theta, phi_lo, phi_hi)
+        else:
+            cands = index.candidates(t_end - 2.0 * u_theta, t_end, phi_lo, phi_hi)
+            cands = [c for c in cands if theta[c] < t_end]
+        if not cands:
+            return None
+        deltas = xyz[cands] - xyz[end]
+        return cands[int(np.argmin(np.einsum("ij,ij->i", deltas, deltas)))]
+
+    for seed in range(n):
+        if not index.alive[seed]:
+            continue
+        index.kill(seed)
+        line = deque([seed])
+        phi_lo = phi[seed] - u_phi
+        phi_hi = phi[seed] + u_phi
+        # Extend to the right...
+        current = seed
+        while True:
+            nxt = extend(current, phi_lo, phi_hi, +1)
+            if nxt is None:
+                break
+            index.kill(nxt)
+            line.append(nxt)
+            current = nxt
+        # ...then to the left (paper: both routines are symmetric).
+        current = seed
+        while True:
+            nxt = extend(current, phi_lo, phi_hi, -1)
+            if nxt is None:
+                break
+            index.kill(nxt)
+            line.appendleft(nxt)
+            current = nxt
+        polylines.append(np.fromiter(line, dtype=np.int64, count=len(line)))
+    return polylines

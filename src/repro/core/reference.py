@@ -1,0 +1,276 @@
+"""Radial-distance-optimized delta encoding (paper Definition 3.3, Step 8).
+
+For every sparse point the encoder picks a *reference point* whose radial
+distance is likely close, and stores ``nabla_r = r - r_ref``:
+
+- the previous point on the same polyline (the *bottom-left* point) when the
+  local scene is flat, which the decoder can detect itself; or
+- the best of four spatial neighbours (bottom-left, upper-right,
+  upper-middle, upper-left) when the radial jump exceeds ``TH_r``; only this
+  choice needs a recorded symbol (stream ``L_ref``).
+
+Upper neighbours come from the *consensus reference polyline* ``l*``
+(Algorithm 2), an overlay of the preceding polylines whose polar angle is
+within ``TH_phi`` of the current line.
+
+Everything here operates on quantized integers: the decoder reruns exactly
+the same branch logic on exactly the same values, so no branch bits are
+spent outside ``L_ref``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+import numpy as np
+
+__all__ = [
+    "build_consensus",
+    "encode_radial",
+    "decode_radial",
+    "encode_radial_plain",
+    "decode_radial_plain",
+]
+
+# L_ref symbols (paper Step 8): bottom-left, upper-right, upper-middle, upper-left.
+SYM_BOTTOM_LEFT = 0
+SYM_UPPER_RIGHT = 1
+SYM_UPPER_MIDDLE = 2
+SYM_UPPER_LEFT = 3
+
+
+def build_consensus(
+    ref_lines: list[tuple[np.ndarray, np.ndarray]],
+) -> tuple[list[int], list[int]]:
+    """Algorithm 2: overlay reference polylines into one consensus line.
+
+    ``ref_lines`` holds ``(theta_ints, r_ints)`` pairs in ``<PL>`` order.
+    Returns the consensus as parallel theta / r lists sorted by theta.
+    """
+    thetas: list[int] = []
+    rs: list[int] = []
+    for line_theta, line_r in ref_lines:
+        lt = line_theta.tolist()
+        lr = line_r.tolist()
+        if not thetas or thetas[-1] < lt[0]:
+            thetas.extend(lt)
+            rs.extend(lr)
+            continue
+        # Replace the span of l* overlapped by this line with the line itself
+        # (newer lines are vertically closer to the target polyline).  The
+        # span is inclusive of equal azimuths so no stale duplicates remain.
+        id_left = bisect_left(thetas, lt[0])
+        id_right = bisect_right(thetas, lt[-1]) - 1
+        if id_left <= id_right:
+            thetas[id_left : id_right + 1] = lt
+            rs[id_left : id_right + 1] = lr
+        else:
+            thetas[id_left:id_left] = lt
+            rs[id_left:id_left] = lr
+    return thetas, rs
+
+
+def _reference_sets(
+    line_phis: list[int], th_phi: int
+) -> list[range]:
+    """Per-line index ranges of reference polylines (preceding, phi-close)."""
+    sets = []
+    start = 0
+    for i, phi in enumerate(line_phis):
+        while start < i and line_phis[i] - line_phis[start] > th_phi:
+            start += 1
+        sets.append(range(start, i))
+    return sets
+
+
+def encode_radial(
+    lines_theta: list[np.ndarray],
+    lines_r: list[np.ndarray],
+    line_phis: list[int],
+    th_phi: int,
+    th_r: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Produce the ``nabla_r`` stream and the ``L_ref`` symbol stream.
+
+    Parameters
+    ----------
+    lines_theta, lines_r:
+        Quantized theta / r per polyline, in sorted ``<PL>`` order.
+    line_phis:
+        Quantized polar angle of each polyline (its head's phi).
+    th_phi, th_r:
+        Quantized thresholds ``TH_phi`` (reference-set width) and ``TH_r``
+        (flatness test).
+    """
+    nabla: list[int] = []
+    symbols: list[int] = []
+    ref_sets = _reference_sets(line_phis, th_phi)
+    prev_head_r: int | None = None
+    for li, (ltheta, lr) in enumerate(zip(lines_theta, lines_r)):
+        consensus = build_consensus(
+            [(lines_theta[j], lines_r[j]) for j in ref_sets[li]]
+        )
+        c_thetas, c_rs = consensus
+        lt = ltheta.tolist()
+        lrr = lr.tolist()
+        for j, (t, r) in enumerate(zip(lt, lrr)):
+            if j == 0:
+                ref = _head_reference(c_thetas, c_rs, t, prev_head_r)
+                nabla.append(r - ref)
+                continue
+            r_bl = lrr[j - 1]
+            ref, symbol = _tail_reference(c_thetas, c_rs, t, r, r_bl, th_r)
+            if symbol is not None:
+                symbols.append(symbol)
+            nabla.append(r - ref)
+        prev_head_r = lrr[0]
+    return np.asarray(nabla, dtype=np.int64), np.asarray(symbols, dtype=np.int64)
+
+
+def decode_radial(
+    lines_theta: list[np.ndarray],
+    line_phis: list[int],
+    nabla: np.ndarray,
+    symbols: np.ndarray,
+    th_phi: int,
+    th_r: int,
+) -> list[np.ndarray]:
+    """Inverse of :func:`encode_radial`: rebuild per-line r values."""
+    ref_sets = _reference_sets(line_phis, th_phi)
+    nabla_iter = iter(nabla.tolist())
+    symbol_iter = iter(symbols.tolist())
+    lines_r: list[np.ndarray] = []
+    prev_head_r: int | None = None
+    for li, ltheta in enumerate(lines_theta):
+        c_thetas, c_rs = build_consensus(
+            [(lines_theta[j], lines_r[j]) for j in ref_sets[li]]
+        )
+        lt = ltheta.tolist()
+        lr: list[int] = []
+        for j, t in enumerate(lt):
+            if j == 0:
+                ref = _head_reference(c_thetas, c_rs, t, prev_head_r)
+                lr.append(next(nabla_iter) + ref)
+                continue
+            r_bl = lr[j - 1]
+            ref = _tail_reference_decode(
+                c_thetas, c_rs, t, r_bl, th_r, symbol_iter
+            )
+            lr.append(next(nabla_iter) + ref)
+        prev_head_r = lr[0]
+        lines_r.append(np.asarray(lr, dtype=np.int64))
+    return lines_r
+
+
+def _head_reference(
+    c_thetas: list[int], c_rs: list[int], t: int, prev_head_r: int | None
+) -> int:
+    """Situation (1): reference for a polyline head."""
+    if c_thetas:
+        idx = bisect_left(c_thetas, t) - 1  # rightmost with theta < t
+        if idx >= 0:
+            return c_rs[idx]
+    if prev_head_r is not None:
+        return prev_head_r
+    return 0
+
+
+def _upper_neighbors(
+    c_thetas: list[int], c_rs: list[int], t: int
+) -> tuple[int | None, int | None, int | None]:
+    """(r_ul, r_um, r_ur) from the consensus line around azimuth ``t``."""
+    if not c_thetas:
+        return None, None, None
+    i_ul = bisect_left(c_thetas, t) - 1
+    i_ur = bisect_right(c_thetas, t)
+    r_ul = c_rs[i_ul] if i_ul >= 0 else None
+    r_ur = c_rs[i_ur] if i_ur < len(c_rs) else None
+    r_um = c_rs[i_ul + 1] if (i_ul >= 0 and i_ul + 1 < i_ur) else None
+    return r_ul, r_um, r_ur
+
+
+def _tail_reference(
+    c_thetas: list[int],
+    c_rs: list[int],
+    t: int,
+    r: int,
+    r_bl: int,
+    th_r: int,
+) -> tuple[int, int | None]:
+    """Situations (2a)/(2b): reference and (optional) recorded symbol."""
+    r_ul, r_um, r_ur = _upper_neighbors(c_thetas, c_rs, t)
+    if r_ul is None or r_ur is None:
+        return r_bl, None
+    trio = (r_ul, r_ur, r_bl)
+    if max(trio) - min(trio) <= th_r:
+        return r_bl, None  # flat local scene: situation (2a)
+    candidates = [(SYM_BOTTOM_LEFT, r_bl), (SYM_UPPER_RIGHT, r_ur)]
+    if r_um is not None:
+        candidates.append((SYM_UPPER_MIDDLE, r_um))
+    candidates.append((SYM_UPPER_LEFT, r_ul))
+    symbol, ref = min(candidates, key=lambda sc: (abs(r - sc[1]), sc[0]))
+    return ref, symbol
+
+
+def _tail_reference_decode(
+    c_thetas: list[int],
+    c_rs: list[int],
+    t: int,
+    r_bl: int,
+    th_r: int,
+    symbol_iter,
+) -> int:
+    """Decoder mirror of :func:`_tail_reference` (consumes L_ref on 2b)."""
+    r_ul, r_um, r_ur = _upper_neighbors(c_thetas, c_rs, t)
+    if r_ul is None or r_ur is None:
+        return r_bl
+    trio = (r_ul, r_ur, r_bl)
+    if max(trio) - min(trio) <= th_r:
+        return r_bl
+    symbol = next(symbol_iter)
+    if symbol == SYM_BOTTOM_LEFT:
+        return r_bl
+    if symbol == SYM_UPPER_RIGHT:
+        return r_ur
+    if symbol == SYM_UPPER_MIDDLE:
+        if r_um is None:
+            raise ValueError("L_ref names a missing upper-middle point")
+        return r_um
+    if symbol == SYM_UPPER_LEFT:
+        return r_ul
+    raise ValueError(f"invalid L_ref symbol {symbol}")
+
+
+def encode_radial_plain(lines_r: list[np.ndarray]) -> np.ndarray:
+    """-Radial ablation: plain delta coding of r.
+
+    Tails delta against their predecessor on the line; heads delta against
+    the previous line's head (the first head is stored raw).
+    """
+    nabla: list[int] = []
+    prev_head: int | None = None
+    for lr in lines_r:
+        values = lr.tolist()
+        head_ref = prev_head if prev_head is not None else 0
+        nabla.append(values[0] - head_ref)
+        for j in range(1, len(values)):
+            nabla.append(values[j] - values[j - 1])
+        prev_head = values[0]
+    return np.asarray(nabla, dtype=np.int64)
+
+
+def decode_radial_plain(
+    nabla: np.ndarray, line_lengths: list[int]
+) -> list[np.ndarray]:
+    """Inverse of :func:`encode_radial_plain`."""
+    nabla_iter = iter(nabla.tolist())
+    lines_r: list[np.ndarray] = []
+    prev_head: int | None = None
+    for length in line_lengths:
+        head_ref = prev_head if prev_head is not None else 0
+        values = [next(nabla_iter) + head_ref]
+        for _ in range(length - 1):
+            values.append(next(nabla_iter) + values[-1])
+        prev_head = values[0]
+        lines_r.append(np.asarray(values, dtype=np.int64))
+    return lines_r

@@ -1,0 +1,357 @@
+"""Coordinate compression of sparse points (paper Section 3.5, Figure 6).
+
+Implements the nine-step pipeline for one radial group of sparse points:
+
+1. *Coordinate scaling* — quantize each spherical dimension by twice its
+   error bound (``q_theta = q_phi = q_xyz / r_max``, ``q_r = q_xyz``).
+2. *Delta encoding* on theta and phi along each polyline.
+3. /4. *Reorganization* — heads (original coordinates) and tails (deltas)
+   are concatenated into separate streams, polylines back to back.
+5. *Lengths* — per-line point counts, arithmetic coded.
+6. *Theta streams* — delta-across-heads and within-line deltas, Deflate
+   (cross-line repeats make LZ matter here).
+7. *Phi streams* — same shape, arithmetic coded (less redundancy).
+8. *Radial stream* — radial-distance-optimized delta encoding with the
+   consensus reference polyline, plus the ``L_ref`` choice stream.
+9. *Output* — length-prefixed stream concatenation.
+
+The ``-Conversion`` ablation keeps the polyline organization but codes
+quantized Cartesian ``x, y, z`` instead of ``theta, phi, r`` (see
+DESIGN.md §4): the coordinate-system effect on stream entropy is exactly
+what the ablation isolates.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.params import DBGCParams
+from repro.core.polyline import organize_polylines
+from repro.core.reference import (
+    decode_radial,
+    decode_radial_plain,
+    encode_radial,
+    encode_radial_plain,
+)
+from repro.entropy.arithmetic import (
+    arithmetic_decode,
+    arithmetic_encode,
+    decode_int_sequence,
+    encode_int_sequence,
+)
+from repro.entropy.deflate import deflate_compress, deflate_decompress
+from repro.entropy.varint import (
+    decode_uvarint,
+    decode_varints,
+    encode_uvarint,
+    encode_varints,
+)
+from repro.geometry.spherical import (
+    cartesian_to_spherical,
+    spherical_error_bounds,
+    spherical_to_cartesian,
+)
+
+__all__ = ["GroupEncoding", "encode_sparse_group", "decode_sparse_group"]
+
+_RMAX = struct.Struct("<d")
+
+
+@dataclass
+class GroupEncoding:
+    """Result of encoding one sparse group."""
+
+    payload: bytes
+    #: Local indices (into the group's input array) of outlier points.
+    outlier_indices: np.ndarray
+    #: Local indices of polyline points, in stored (decoded) order.
+    order: np.ndarray
+    #: Stream sizes by name, for the breakdown reporting.
+    stream_sizes: dict[str, int] = field(default_factory=dict)
+    #: Stage wall-clock times: COR (conversion), ORG (organization),
+    #: SPA (stream coding) — the Figure 13 breakdown slots.
+    timings: dict[str, float] = field(default_factory=dict)
+
+
+def _quantize(values: np.ndarray, step: float) -> np.ndarray:
+    return np.round(values / step).astype(np.int64)
+
+
+def _heads_tails(lines: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Split quantized per-line sequences into head/tail delta streams.
+
+    Heads are delta-coded across lines (first head raw); tails are the
+    within-line deltas (Step 2), concatenated line after line (Steps 3/4).
+    """
+    heads = np.asarray([line[0] for line in lines], dtype=np.int64)
+    head_deltas = np.diff(heads, prepend=np.int64(0))
+    tail_chunks = [np.diff(line) for line in lines if len(line) > 1]
+    tails = (
+        np.concatenate(tail_chunks) if tail_chunks else np.empty(0, dtype=np.int64)
+    )
+    return head_deltas, tails
+
+
+def _rebuild_lines(
+    head_deltas: np.ndarray, tails: np.ndarray, lengths: list[int]
+) -> list[np.ndarray]:
+    """Inverse of :func:`_heads_tails`."""
+    heads = np.cumsum(head_deltas)
+    lines = []
+    pos = 0
+    for i, length in enumerate(lengths):
+        deltas = tails[pos : pos + length - 1]
+        pos += length - 1
+        lines.append(np.concatenate([[heads[i]], heads[i] + np.cumsum(deltas)]))
+    return lines
+
+
+_STREAM_DEFLATE = 0
+_STREAM_ARITHMETIC = 1
+
+
+def _pack_stream(values: np.ndarray) -> bytes:
+    """Entropy-code an int stream with the better of Deflate / arithmetic.
+
+    The paper uses Deflate for the azimuthal streams because repeated
+    cross-line patterns favor LZ matching (Step 6); on data whose deltas
+    are near-constant-with-noise an adaptive arithmetic model wins instead.
+    A one-byte tag records the choice, so the codec always takes the
+    smaller encoding.
+    """
+    deflated = deflate_compress(encode_varints(values, signed=True))
+    arithmetic = encode_int_sequence(values)
+    if len(deflated) < len(arithmetic):
+        return bytes([_STREAM_DEFLATE]) + deflated
+    return bytes([_STREAM_ARITHMETIC]) + arithmetic
+
+
+def _unpack_stream(data: bytes, count: int) -> np.ndarray:
+    """Inverse of :func:`_pack_stream`."""
+    if not data:
+        raise ValueError("empty entropy stream")
+    mode, payload = data[0], data[1:]
+    if mode == _STREAM_DEFLATE:
+        return decode_varints(deflate_decompress(payload), count, signed=True)
+    if mode == _STREAM_ARITHMETIC:
+        values = decode_int_sequence(payload)
+        if values.size != count:
+            raise ValueError("entropy stream count mismatch")
+        return values
+    raise ValueError(f"unknown stream mode byte {mode}")
+
+
+def _append_stream(out: bytearray, payload: bytes) -> None:
+    encode_uvarint(len(payload), out)
+    out += payload
+
+
+def _read_stream(data: bytes, pos: int) -> tuple[bytes, int]:
+    size, pos = decode_uvarint(data, pos)
+    return data[pos : pos + size], pos + size
+
+
+def encode_sparse_group(
+    xyz_group: np.ndarray,
+    params: DBGCParams,
+    u_theta: float,
+    u_phi: float,
+) -> GroupEncoding:
+    """Encode one radial group of sparse points.
+
+    Returns the group payload plus the outlier indices (points on no
+    polyline of length >= 2) and the stored point order for correspondence.
+    """
+    xyz_group = np.asarray(xyz_group, dtype=np.float64)
+    n_input = len(xyz_group)
+    if n_input == 0:
+        out = bytearray()
+        encode_uvarint(0, out)
+        return GroupEncoding(bytes(out), np.empty(0, np.int64), np.empty(0, np.int64))
+
+    t0 = time.perf_counter()
+    tpr = cartesian_to_spherical(xyz_group)
+    theta, phi, radius = tpr[:, 0], tpr[:, 1], tpr[:, 2]
+    t_cor = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    if params.spherical_conversion:
+        all_lines = organize_polylines(theta, phi, xyz_group, u_theta, u_phi)
+    else:
+        # -Conversion ablation: extract polylines in the Cartesian system
+        # (x plays the scan axis, y the line-grouping axis).  The window is
+        # the typical along-scan spacing at the group's median range; rings
+        # are circles in the xy plane, so extraction fragments badly — the
+        # effect the ablation quantifies.
+        window = max(float(np.median(radius)) * u_theta, 4.0 * params.q_xyz)
+        all_lines = organize_polylines(
+            xyz_group[:, 0], xyz_group[:, 1], xyz_group, window, window
+        )
+    lines = [line for line in all_lines if len(line) >= 2]
+    outliers = (
+        np.concatenate([line for line in all_lines if len(line) < 2])
+        if any(len(line) < 2 for line in all_lines)
+        else np.empty(0, dtype=np.int64)
+    )
+    t_org = time.perf_counter() - t0
+    if not lines:
+        out = bytearray()
+        encode_uvarint(0, out)
+        return GroupEncoding(
+            bytes(out),
+            outliers,
+            np.empty(0, np.int64),
+            timings={"cor": t_cor, "org": t_org, "spa": 0.0},
+        )
+    t0 = time.perf_counter()
+
+    r_max = float(max(radius[line].max() for line in lines))
+    r_max = max(r_max, 1e-9)
+    q_theta, q_phi, q_r = spherical_error_bounds(
+        params.q_xyz, r_max, strict_cartesian=params.strict_cartesian
+    )
+
+    if params.spherical_conversion:
+        d1_all = _quantize(theta, 2.0 * q_theta)
+        d2_all = _quantize(phi, 2.0 * q_phi)
+        d3_all = _quantize(radius, 2.0 * q_r)
+    else:
+        step = 2.0 * params.q_xyz
+        d1_all = _quantize(xyz_group[:, 0], step)
+        d2_all = _quantize(xyz_group[:, 1], step)
+        d3_all = _quantize(xyz_group[:, 2], step)
+
+    # Sort polylines by (head polar angle, head azimuth) — paper Line 7.
+    # The sort uses quantized values so encoder and decoder agree on the
+    # reference-set geometry.
+    lines.sort(key=lambda line: (int(d2_all[line[0]]), int(d1_all[line[0]])))
+    lines_d1 = [d1_all[line] for line in lines]
+    lines_d2 = [d2_all[line] for line in lines]
+    lines_d3 = [d3_all[line] for line in lines]
+    lengths = [len(line) for line in lines]
+    order = np.concatenate(lines)
+
+    out = bytearray()
+    encode_uvarint(int(order.size), out)
+    encode_uvarint(len(lines), out)
+    out += _RMAX.pack(r_max)
+    sizes: dict[str, int] = {}
+
+    payload = encode_int_sequence(np.asarray(lengths, dtype=np.int64))
+    _append_stream(out, payload)
+    sizes["lengths"] = len(payload)
+
+    d1_heads, d1_tails = _heads_tails(lines_d1)
+    payload = _pack_stream(d1_heads)
+    _append_stream(out, payload)
+    sizes["d1_heads"] = len(payload)
+    payload = _pack_stream(d1_tails)
+    _append_stream(out, payload)
+    sizes["d1_tails"] = len(payload)
+
+    d2_heads, d2_tails = _heads_tails(lines_d2)
+    payload = _pack_stream(d2_heads)
+    _append_stream(out, payload)
+    sizes["d2_heads"] = len(payload)
+    payload = _pack_stream(d2_tails)
+    _append_stream(out, payload)
+    sizes["d2_tails"] = len(payload)
+
+    if params.spherical_conversion and params.radial_reference:
+        th_phi_q = max(int(round(2.0 * u_phi / (2.0 * q_phi))), 0)
+        th_r_q = max(int(round(params.th_r / (2.0 * q_r))), 1)
+        line_phis = [int(d2[0]) for d2 in lines_d2]
+        nabla, symbols = encode_radial(
+            lines_d1, lines_d3, line_phis, th_phi_q, th_r_q
+        )
+        ref_payload = bytearray()
+        encode_uvarint(len(symbols), ref_payload)
+        ref_payload += arithmetic_encode(symbols, 4)
+    else:
+        nabla = encode_radial_plain(lines_d3)
+        ref_payload = bytearray()
+        encode_uvarint(0, ref_payload)
+
+    payload = encode_int_sequence(nabla)
+    _append_stream(out, payload)
+    sizes["d3"] = len(payload)
+    _append_stream(out, bytes(ref_payload))
+    sizes["l_ref"] = len(ref_payload)
+    t_spa = time.perf_counter() - t0
+
+    return GroupEncoding(
+        bytes(out),
+        outliers,
+        order,
+        sizes,
+        timings={"cor": t_cor, "org": t_org, "spa": t_spa},
+    )
+
+
+def decode_sparse_group(
+    payload: bytes,
+    params: DBGCParams,
+    u_theta: float,
+    u_phi: float,
+) -> np.ndarray:
+    """Decode one group payload back to Cartesian coordinates.
+
+    Points come back in stored polyline order (matching
+    :attr:`GroupEncoding.order` on the encoder side).
+    """
+    n_points, pos = decode_uvarint(payload, 0)
+    if n_points == 0:
+        return np.empty((0, 3), dtype=np.float64)
+    n_lines, pos = decode_uvarint(payload, pos)
+    (r_max,) = _RMAX.unpack_from(payload, pos)
+    pos += _RMAX.size
+    q_theta, q_phi, q_r = spherical_error_bounds(
+        params.q_xyz, r_max, strict_cartesian=params.strict_cartesian
+    )
+
+    stream, pos = _read_stream(payload, pos)
+    lengths = decode_int_sequence(stream).tolist()
+    if len(lengths) != n_lines or sum(lengths) != n_points:
+        raise ValueError("corrupt sparse group: length stream mismatch")
+
+    n_tail = n_points - n_lines
+    stream, pos = _read_stream(payload, pos)
+    d1_heads = _unpack_stream(stream, n_lines)
+    stream, pos = _read_stream(payload, pos)
+    d1_tails = _unpack_stream(stream, n_tail)
+    lines_d1 = _rebuild_lines(d1_heads, d1_tails, lengths)
+
+    stream, pos = _read_stream(payload, pos)
+    d2_heads = _unpack_stream(stream, n_lines)
+    stream, pos = _read_stream(payload, pos)
+    d2_tails = _unpack_stream(stream, n_tail)
+    lines_d2 = _rebuild_lines(d2_heads, d2_tails, lengths)
+
+    stream, pos = _read_stream(payload, pos)
+    nabla = decode_int_sequence(stream)
+    ref_stream, pos = _read_stream(payload, pos)
+    n_symbols, ref_pos = decode_uvarint(ref_stream, 0)
+
+    if params.spherical_conversion and params.radial_reference:
+        symbols = arithmetic_decode(ref_stream[ref_pos:], n_symbols, 4)
+        th_phi_q = max(int(round(2.0 * u_phi / (2.0 * q_phi))), 0)
+        th_r_q = max(int(round(params.th_r / (2.0 * q_r))), 1)
+        line_phis = [int(d2[0]) for d2 in lines_d2]
+        lines_d3 = decode_radial(lines_d1, line_phis, nabla, symbols, th_phi_q, th_r_q)
+    else:
+        lines_d3 = decode_radial_plain(nabla, lengths)
+
+    d1 = np.concatenate(lines_d1).astype(np.float64)
+    d2 = np.concatenate(lines_d2).astype(np.float64)
+    d3 = np.concatenate(lines_d3).astype(np.float64)
+    if params.spherical_conversion:
+        tpr = np.column_stack(
+            [d1 * 2.0 * q_theta, d2 * 2.0 * q_phi, d3 * 2.0 * q_r]
+        )
+        return spherical_to_cartesian(tpr)
+    step = 2.0 * params.q_xyz
+    return np.column_stack([d1 * step, d2 * step, d3 * step])

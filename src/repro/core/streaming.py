@@ -1,0 +1,164 @@
+"""Multi-frame stream compression.
+
+The paper scopes itself to single-frame compression and notes it "can be a
+building block in compressing point cloud streams" (Section 1).  This
+module is that building block's container: a stream file holds a header and
+a sequence of independently decodable DBGC frames, so a receiver can seek,
+drop, or late-join — the right trade-off for lossy transports like the
+paper's 4G uplink.
+
+Stream layout::
+
+    b"DBGS" | version u8 | uvarint n_frames (0 = unknown/append mode)
+    per frame: uvarint payload_size | payload (a standalone DBGC stream)
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import BinaryIO, Iterable, Iterator
+
+import numpy as np
+
+from repro.core.params import DBGCParams
+from repro.core.pipeline import DBGCCompressor, DBGCDecompressor
+from repro.datasets.sensors import SensorModel
+from repro.entropy.varint import encode_uvarint
+from repro.geometry.points import PointCloud
+
+__all__ = ["StreamStats", "FrameStreamWriter", "FrameStreamReader", "compress_stream"]
+
+_MAGIC = b"DBGS"
+_VERSION = 1
+
+
+@dataclass
+class StreamStats:
+    """Aggregate statistics of a compressed frame stream."""
+
+    n_frames: int = 0
+    total_points: int = 0
+    total_raw_bytes: int = 0
+    total_compressed_bytes: int = 0
+    frame_sizes: list[int] = field(default_factory=list)
+
+    def record(self, n_points: int, payload_size: int) -> None:
+        self.n_frames += 1
+        self.total_points += n_points
+        self.total_raw_bytes += n_points * 12
+        self.total_compressed_bytes += payload_size
+        self.frame_sizes.append(payload_size)
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.total_compressed_bytes == 0:
+            return float("inf")
+        return self.total_raw_bytes / self.total_compressed_bytes
+
+    def bandwidth_mbps(self, frames_per_second: float) -> float:
+        """Mean link bandwidth needed at the given frame rate."""
+        if not self.frame_sizes:
+            return 0.0
+        mean_size = self.total_compressed_bytes / self.n_frames
+        return 8.0 * frames_per_second * mean_size / 1e6
+
+
+def _read_uvarint(stream: BinaryIO) -> int:
+    result = 0
+    shift = 0
+    while True:
+        byte = stream.read(1)
+        if not byte:
+            raise ValueError("truncated stream varint")
+        value = byte[0]
+        result |= (value & 0x7F) << shift
+        if not value & 0x80:
+            return result
+        shift += 7
+        if shift > 70:
+            raise ValueError("stream varint too long")
+
+
+class FrameStreamWriter:
+    """Append compressed frames to a binary stream."""
+
+    def __init__(
+        self,
+        sink: BinaryIO,
+        params: DBGCParams | None = None,
+        sensor: SensorModel | None = None,
+    ) -> None:
+        self._sink = sink
+        self.compressor = DBGCCompressor(params, sensor=sensor)
+        self.stats = StreamStats()
+        header = bytearray(_MAGIC)
+        header.append(_VERSION)
+        encode_uvarint(0, header)  # append mode: reader counts frames itself
+        self._sink.write(bytes(header))
+
+    def write_frame(
+        self, cloud: PointCloud, attributes: dict[str, np.ndarray] | None = None
+    ) -> int:
+        """Compress and append one frame; returns the payload size."""
+        payload = self.compressor.compress(cloud, attributes=attributes)
+        size_prefix = bytearray()
+        encode_uvarint(len(payload), size_prefix)
+        self._sink.write(bytes(size_prefix))
+        self._sink.write(payload)
+        self.stats.record(len(cloud), len(payload))
+        return len(payload)
+
+
+class FrameStreamReader:
+    """Iterate the frames of a stream written by :class:`FrameStreamWriter`."""
+
+    def __init__(self, source: BinaryIO) -> None:
+        self._source = source
+        magic = source.read(4)
+        if magic != _MAGIC:
+            raise ValueError("not a DBGC frame stream (bad magic)")
+        version = source.read(1)
+        if not version or version[0] != _VERSION:
+            raise ValueError("unsupported stream version")
+        _read_uvarint(source)  # declared frame count (informational)
+        self._decompressor = DBGCDecompressor()
+
+    def payloads(self) -> Iterator[bytes]:
+        """Yield raw per-frame payloads without decompressing."""
+        while True:
+            probe = self._source.read(1)
+            if not probe:
+                return
+            # Re-assemble the varint we started reading.
+            result = probe[0] & 0x7F
+            shift = 7
+            byte = probe[0]
+            while byte & 0x80:
+                nxt = self._source.read(1)
+                if not nxt:
+                    raise ValueError("truncated frame size")
+                byte = nxt[0]
+                result |= (byte & 0x7F) << shift
+                shift += 7
+            payload = self._source.read(result)
+            if len(payload) != result:
+                raise ValueError("truncated frame payload")
+            yield payload
+
+    def __iter__(self) -> Iterator[PointCloud]:
+        for payload in self.payloads():
+            yield self._decompressor.decompress(payload)
+
+
+def compress_stream(
+    frames: Iterable[PointCloud],
+    params: DBGCParams | None = None,
+    sensor: SensorModel | None = None,
+) -> tuple[bytes, StreamStats]:
+    """One-shot: compress a frame sequence into a stream blob + stats."""
+    buffer = io.BytesIO()
+    writer = FrameStreamWriter(buffer, params=params, sensor=sensor)
+    for cloud in frames:
+        writer.write_frame(cloud)
+    return buffer.getvalue(), writer.stats

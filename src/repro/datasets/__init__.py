@@ -1,0 +1,52 @@
+"""Data substrate: sensor models, procedural scenes, LiDAR simulation, I/O.
+
+The paper evaluates on KITTI, Apollo and Ford captures.  Those datasets are
+not available offline, so this subpackage generates synthetic equivalents:
+a Velodyne HDL-64E sensor model fires rays into procedurally generated
+scenes (ground, buildings, cars, trees, walls), reproducing the structural
+properties DBGC exploits — the dense "spider web" near the sensor, sparse
+far field, near-regular spherical sampling with calibration jitter, and
+per-scene object mixes.  See DESIGN.md §4 for the substitution rationale.
+"""
+
+from repro.datasets.frames import SCENE_BUILDERS, generate_frame, generate_frames
+from repro.datasets.io import (
+    load_kitti_bin,
+    load_npz,
+    load_ply,
+    save_kitti_bin,
+    save_npz,
+    save_ply,
+)
+from repro.datasets.scenes import (
+    Scene,
+    campus_scene,
+    city_scene,
+    ford_campus_scene,
+    residential_scene,
+    road_scene,
+    urban_scene,
+)
+from repro.datasets.sensors import SensorModel
+from repro.datasets.simulator import simulate_frame
+
+__all__ = [
+    "SCENE_BUILDERS",
+    "Scene",
+    "SensorModel",
+    "campus_scene",
+    "city_scene",
+    "ford_campus_scene",
+    "generate_frame",
+    "generate_frames",
+    "load_kitti_bin",
+    "load_npz",
+    "load_ply",
+    "residential_scene",
+    "road_scene",
+    "save_kitti_bin",
+    "save_npz",
+    "save_ply",
+    "simulate_frame",
+    "urban_scene",
+]

@@ -1,0 +1,92 @@
+"""On-disk dataset archives in a KITTI-like layout.
+
+A dataset directory holds one ``.bin`` per frame (the KITTI velodyne
+format) plus a ``metadata.json`` describing the scene, trajectory, and
+sensor — enough to regenerate or extend the archive deterministically.
+This is the bridge between the simulator and benchmarks that want to read
+frames the way the paper's experiments read KITTI: from files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterator
+
+from repro.datasets.frames import SCENE_BUILDERS, generate_frame
+from repro.datasets.io import load_kitti_bin, save_kitti_bin
+from repro.datasets.sensors import SensorModel
+from repro.geometry.points import PointCloud
+
+__all__ = ["write_archive", "read_archive", "archive_info"]
+
+_METADATA_NAME = "metadata.json"
+
+
+def _frame_path(root: Path, index: int) -> Path:
+    return root / f"{index:06d}.bin"
+
+
+def write_archive(
+    root: str | Path,
+    scene: str,
+    n_frames: int,
+    sensor: SensorModel | None = None,
+    seed: int = 0,
+) -> Path:
+    """Generate and store ``n_frames`` of a scene; returns the directory.
+
+    The directory is self-describing: ``metadata.json`` records everything
+    needed to regenerate the identical frames.
+    """
+    if scene not in SCENE_BUILDERS:
+        raise KeyError(f"unknown scene {scene!r}; available: {sorted(SCENE_BUILDERS)}")
+    if n_frames < 1:
+        raise ValueError(f"need at least one frame, got {n_frames}")
+    sensor = sensor if sensor is not None else SensorModel.benchmark_default()
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    counts = []
+    for index in range(n_frames):
+        cloud = generate_frame(scene, index, sensor=sensor, seed=seed)
+        save_kitti_bin(cloud, _frame_path(root, index))
+        counts.append(len(cloud))
+    metadata = {
+        "format": "dbgc-dataset-v1",
+        "scene": scene,
+        "n_frames": n_frames,
+        "seed": seed,
+        "point_counts": counts,
+        "sensor": dataclasses.asdict(sensor),
+    }
+    (root / _METADATA_NAME).write_text(json.dumps(metadata, indent=2))
+    return root
+
+
+def archive_info(root: str | Path) -> dict:
+    """Read and validate an archive's metadata."""
+    root = Path(root)
+    meta_path = root / _METADATA_NAME
+    if not meta_path.exists():
+        raise FileNotFoundError(f"{root} is not a dataset archive (no metadata.json)")
+    metadata = json.loads(meta_path.read_text())
+    if metadata.get("format") != "dbgc-dataset-v1":
+        raise ValueError(f"unsupported archive format {metadata.get('format')!r}")
+    missing = [
+        index
+        for index in range(metadata["n_frames"])
+        if not _frame_path(root, index).exists()
+    ]
+    if missing:
+        raise ValueError(f"archive is missing frames: {missing[:5]}...")
+    return metadata
+
+
+def read_archive(root: str | Path) -> Iterator[PointCloud]:
+    """Yield the archive's frames in order."""
+    metadata = archive_info(root)
+    root = Path(root)
+    for index in range(metadata["n_frames"]):
+        cloud, _ = load_kitti_bin(_frame_path(root, index))
+        yield cloud

@@ -1,0 +1,103 @@
+"""Point cloud file I/O.
+
+Supports the formats the paper's datasets ship in — KITTI/Apollo ``.bin``
+(float32 ``x, y, z, intensity`` records) — plus ASCII PLY and compressed NPZ
+for interchange, so real captures can be dropped into the benchmarks in
+place of the simulator.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.geometry.points import PointCloud
+
+__all__ = [
+    "save_kitti_bin",
+    "load_kitti_bin",
+    "save_ply",
+    "load_ply",
+    "save_npz",
+    "load_npz",
+]
+
+
+def save_kitti_bin(
+    cloud: PointCloud, path: str | Path, intensity: np.ndarray | None = None
+) -> None:
+    """Write the KITTI velodyne binary format (float32 x, y, z, intensity)."""
+    n = len(cloud)
+    if intensity is None:
+        intensity = np.zeros(n, dtype=np.float32)
+    elif len(intensity) != n:
+        raise ValueError("intensity length must match the cloud")
+    record = np.empty((n, 4), dtype=np.float32)
+    record[:, :3] = cloud.xyz.astype(np.float32)
+    record[:, 3] = np.asarray(intensity, dtype=np.float32)
+    record.tofile(str(path))
+
+
+def load_kitti_bin(path: str | Path) -> tuple[PointCloud, np.ndarray]:
+    """Read a KITTI ``.bin`` file; returns (cloud, intensity)."""
+    raw = np.fromfile(str(path), dtype=np.float32)
+    if raw.size % 4 != 0:
+        raise ValueError(f"{path}: size is not a multiple of 4 float32 fields")
+    record = raw.reshape(-1, 4)
+    return PointCloud(record[:, :3].astype(np.float64)), record[:, 3].copy()
+
+
+def save_ply(cloud: PointCloud, path: str | Path) -> None:
+    """Write an ASCII PLY file with vertex positions only."""
+    lines = [
+        "ply",
+        "format ascii 1.0",
+        f"element vertex {len(cloud)}",
+        "property double x",
+        "property double y",
+        "property double z",
+        "end_header",
+    ]
+    with open(path, "w", encoding="ascii") as f:
+        f.write("\n".join(lines) + "\n")
+        np.savetxt(f, cloud.xyz, fmt="%.9g")
+
+
+def load_ply(path: str | Path) -> PointCloud:
+    """Read an ASCII PLY file written by :func:`save_ply` (or compatible)."""
+    with open(path, "r", encoding="ascii") as f:
+        line = f.readline().strip()
+        if line != "ply":
+            raise ValueError(f"{path}: not a PLY file")
+        n_vertices = None
+        while True:
+            line = f.readline()
+            if not line:
+                raise ValueError(f"{path}: missing end_header")
+            line = line.strip()
+            if line.startswith("format") and "ascii" not in line:
+                raise ValueError(f"{path}: only ASCII PLY is supported")
+            if line.startswith("element vertex"):
+                n_vertices = int(line.split()[-1])
+            if line == "end_header":
+                break
+        if n_vertices is None:
+            raise ValueError(f"{path}: no vertex element")
+        if n_vertices == 0:
+            return PointCloud.empty()
+        data = np.loadtxt(f, dtype=np.float64, max_rows=n_vertices, ndmin=2)
+    if data.shape[0] != n_vertices:
+        raise ValueError(f"{path}: expected {n_vertices} vertices, got {data.shape[0]}")
+    return PointCloud(data[:, :3])
+
+
+def save_npz(cloud: PointCloud, path: str | Path) -> None:
+    """Write a compressed NPZ with the coordinate array."""
+    np.savez_compressed(str(path), xyz=cloud.xyz)
+
+
+def load_npz(path: str | Path) -> PointCloud:
+    """Read an NPZ written by :func:`save_npz`."""
+    with np.load(str(path)) as data:
+        return PointCloud(data["xyz"])

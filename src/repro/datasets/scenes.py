@@ -1,0 +1,224 @@
+"""Procedural outdoor scenes for the LiDAR simulator.
+
+Each builder reproduces the object mix of one of the paper's evaluation
+scenes (KITTI campus / city / residential / road, Apollo urban, Ford
+campus).  Scenes are collections of analytic primitives — a ground plane,
+axis-aligned boxes (buildings, cars, fences) and vertical cylinders (trees,
+poles) — so the simulator can intersect a whole frame of rays with a few
+vectorized passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Scene",
+    "campus_scene",
+    "city_scene",
+    "residential_scene",
+    "road_scene",
+    "urban_scene",
+    "ford_campus_scene",
+]
+
+
+@dataclass
+class Scene:
+    """A static scene assembled from analytic primitives.
+
+    Attributes
+    ----------
+    name:
+        Scene label (also the dataset-scene identifier).
+    ground_z:
+        Height of the ground plane.
+    boxes:
+        ``(m, 6)`` array of AABBs: ``xmin, ymin, zmin, xmax, ymax, zmax``.
+    cylinders:
+        ``(k, 5)`` array of vertical cylinders: ``cx, cy, radius, z0, z1``.
+    extent:
+        Half-width of the scene square, meters (rays are clipped to range
+        anyway; the extent bounds object placement).
+    """
+
+    name: str
+    ground_z: float = 0.0
+    boxes: np.ndarray = field(default_factory=lambda: np.empty((0, 6)))
+    cylinders: np.ndarray = field(default_factory=lambda: np.empty((0, 5)))
+    extent: float = 100.0
+    #: Extra radial std-dev (m) applied to cylinder hits: vegetation and
+    #: other volumetric clutter return from a band of depths, not from a
+    #: clean analytic surface.  This radial texture is what the paper's
+    #: Step-8 reference machinery digests in real scans.
+    cylinder_roughness: float = 0.35
+
+    def __post_init__(self) -> None:
+        self.boxes = np.asarray(self.boxes, dtype=np.float64).reshape(-1, 6)
+        self.cylinders = np.asarray(self.cylinders, dtype=np.float64).reshape(-1, 5)
+
+    @property
+    def n_objects(self) -> int:
+        return len(self.boxes) + len(self.cylinders)
+
+
+def _box(cx, cy, w, d, h, z0=0.0):
+    """AABB centered at (cx, cy) with footprint w x d and height h."""
+    return [cx - w / 2, cy - d / 2, z0, cx + w / 2, cy + d / 2, z0 + h]
+
+
+#: No object footprint may come closer than this to the sensor.
+_SENSOR_CLEARANCE = 3.0
+
+
+def _ring_positions(rng, count, r_lo, r_hi, footprint_radius=0.0):
+    """Random (x, y) centers in an annulus, clear of the sensor.
+
+    ``footprint_radius`` is the circumradius of the object placed at each
+    center; the annulus inner radius grows by it so no object covers the
+    sensor at the origin.
+    """
+    inner = max(r_lo, _SENSOR_CLEARANCE + footprint_radius)
+    outer = max(r_hi, inner + 1.0)
+    radii = rng.uniform(inner, outer, size=count)
+    angles = rng.uniform(0.0, 2.0 * np.pi, size=count)
+    return np.column_stack([radii * np.cos(angles), radii * np.sin(angles)])
+
+
+def _cars(rng, count, r_lo, r_hi):
+    boxes = []
+    for _ in range(count):
+        width = rng.uniform(1.6, 2.0)
+        length = rng.uniform(3.8, 5.2)
+        height = rng.uniform(1.4, 1.9)
+        if rng.random() < 0.5:
+            width, length = length, width
+        footprint = 0.5 * float(np.hypot(width, length))
+        (cx, cy), = _ring_positions(rng, 1, r_lo, r_hi, footprint)
+        boxes.append(_box(cx, cy, width, length, height))
+    return boxes
+
+
+def _buildings(rng, count, r_lo, r_hi, size_lo, size_hi, height_lo, height_hi):
+    boxes = []
+    for _ in range(count):
+        w = rng.uniform(size_lo, size_hi)
+        d = rng.uniform(size_lo, size_hi)
+        footprint = 0.5 * float(np.hypot(w, d))
+        (cx, cy), = _ring_positions(rng, 1, r_lo, r_hi, footprint)
+        boxes.append(_box(cx, cy, w, d, rng.uniform(height_lo, height_hi)))
+    return boxes
+
+
+def _trees(rng, count, r_lo, r_hi):
+    cylinders = []
+    for cx, cy in _ring_positions(rng, count, r_lo, r_hi):
+        radius = rng.uniform(0.6, 1.8)  # canopy-ish blob as a thick cylinder
+        height = rng.uniform(3.0, 9.0)
+        cylinders.append([cx, cy, radius, 0.0, height])
+    return cylinders
+
+
+def _poles(rng, count, r_lo, r_hi):
+    cylinders = []
+    for cx, cy in _ring_positions(rng, count, r_lo, r_hi):
+        cylinders.append([cx, cy, rng.uniform(0.08, 0.2), 0.0, rng.uniform(4.0, 8.0)])
+    return cylinders
+
+
+def _bushes(rng, count, r_lo, r_hi):
+    """Low roadside clutter: the radial texture real scans are full of."""
+    cylinders = []
+    for cx, cy in _ring_positions(rng, count, r_lo, r_hi):
+        cylinders.append([cx, cy, rng.uniform(0.3, 1.0), 0.0, rng.uniform(0.4, 1.5)])
+    return cylinders
+
+
+def campus_scene(seed: int = 0) -> Scene:
+    """KITTI campus: mid-size buildings, many trees, some cars."""
+    rng = np.random.default_rng(seed)
+    boxes = _buildings(rng, 10, 15, 70, 10, 28, 6, 16) + _cars(rng, 14, 5, 40)
+    cylinders = (
+        _trees(rng, 36, 6, 60) + _poles(rng, 12, 5, 45) + _bushes(rng, 30, 5, 50)
+    )
+    return Scene("campus", boxes=np.array(boxes), cylinders=np.array(cylinders))
+
+
+def city_scene(seed: int = 0) -> Scene:
+    """KITTI city: a street corridor with tall facades and traffic."""
+    rng = np.random.default_rng(seed)
+    boxes = []
+    # Facade walls along a street on the x axis.
+    street_half_width = rng.uniform(7.0, 10.0)
+    for side in (-1.0, 1.0):
+        offset = 0.0
+        x = -90.0
+        while x < 90.0:
+            length = rng.uniform(12.0, 30.0)
+            depth = rng.uniform(8.0, 15.0)
+            height = rng.uniform(9.0, 30.0)
+            gap = rng.uniform(0.0, 6.0)
+            cy = side * (street_half_width + depth / 2 + offset)
+            boxes.append(_box(x + length / 2, cy, length, depth, height))
+            x += length + gap
+    boxes += _cars(rng, 24, 4, 45)
+    cylinders = (
+        _poles(rng, 22, 4, 60) + _trees(rng, 10, 10, 50) + _bushes(rng, 24, 4, 55)
+    )
+    return Scene("city", boxes=np.array(boxes), cylinders=np.array(cylinders))
+
+
+def residential_scene(seed: int = 0) -> Scene:
+    """KITTI residential: small houses, fences, many trees."""
+    rng = np.random.default_rng(seed)
+    boxes = _buildings(rng, 16, 10, 60, 6, 14, 3, 9) + _cars(rng, 6, 4, 35)
+    # Fences: long thin boxes.
+    for _ in range(8):
+        length = rng.uniform(8.0, 25.0)
+        (cx, cy), = _ring_positions(rng, 1, 8, 50, footprint_radius=length / 2)
+        if rng.random() < 0.5:
+            boxes.append(_box(cx, cy, length, 0.2, rng.uniform(1.0, 2.0)))
+        else:
+            boxes.append(_box(cx, cy, 0.2, length, rng.uniform(1.0, 2.0)))
+    cylinders = (
+        _trees(rng, 44, 5, 55) + _poles(rng, 14, 5, 45) + _bushes(rng, 36, 4, 50)
+    )
+    return Scene("residential", boxes=np.array(boxes), cylinders=np.array(cylinders))
+
+
+def road_scene(seed: int = 0) -> Scene:
+    """KITTI road: open highway, guard rails, sparse distant objects."""
+    rng = np.random.default_rng(seed)
+    boxes = []
+    # Guard rails parallel to the x axis.
+    for side in (-1.0, 1.0):
+        boxes.append(_box(0.0, side * rng.uniform(8.0, 11.0), 180.0, 0.3, 0.8))
+    boxes += _cars(rng, 10, 6, 70)
+    boxes += _buildings(rng, 3, 50, 95, 10, 25, 4, 10)
+    cylinders = (
+        _poles(rng, 12, 10, 80) + _trees(rng, 12, 20, 90) + _bushes(rng, 16, 8, 70)
+    )
+    return Scene("road", boxes=np.array(boxes), cylinders=np.array(cylinders))
+
+
+def urban_scene(seed: int = 0) -> Scene:
+    """Apollo urban: dense tall blocks and heavy traffic."""
+    rng = np.random.default_rng(seed)
+    boxes = _buildings(rng, 16, 12, 80, 15, 40, 12, 45) + _cars(rng, 20, 4, 50)
+    boxes += _cars(rng, 8, 4, 30)
+    cylinders = (
+        _poles(rng, 24, 4, 60) + _trees(rng, 14, 8, 55) + _bushes(rng, 26, 4, 50)
+    )
+    return Scene("urban", boxes=np.array(boxes), cylinders=np.array(cylinders))
+
+
+def ford_campus_scene(seed: int = 0) -> Scene:
+    """Ford campus: large open lots, a few big buildings, light traffic."""
+    rng = np.random.default_rng(seed)
+    boxes = _buildings(rng, 6, 25, 85, 20, 50, 8, 20) + _cars(rng, 12, 5, 55)
+    cylinders = (
+        _trees(rng, 20, 10, 70) + _poles(rng, 14, 8, 60) + _bushes(rng, 20, 6, 60)
+    )
+    return Scene("ford-campus", boxes=np.array(boxes), cylinders=np.array(cylinders))

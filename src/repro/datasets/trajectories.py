@@ -1,0 +1,99 @@
+"""Drive trajectories for multi-frame capture sequences.
+
+The paper's datasets are captured from moving vehicles; a trajectory maps a
+frame index to the sensor's (x, y) position so consecutive simulated frames
+overlap the way a real drive does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.datasets.frames import SCENE_BUILDERS
+from repro.datasets.sensors import SensorModel
+from repro.datasets.simulator import simulate_frame
+from repro.geometry.points import PointCloud
+
+__all__ = ["Trajectory", "straight", "curve", "loop", "generate_sequence"]
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A sampled drive path: per-frame sensor positions."""
+
+    name: str
+    positions: np.ndarray  # (n_frames, 2)
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def __getitem__(self, index: int) -> tuple[float, float]:
+        x, y = self.positions[index]
+        return float(x), float(y)
+
+    def total_distance(self) -> float:
+        """Path length in meters."""
+        if len(self.positions) < 2:
+            return 0.0
+        return float(np.sum(np.linalg.norm(np.diff(self.positions, axis=0), axis=1)))
+
+
+def straight(
+    n_frames: int, speed_mps: float = 10.0, fps: float = 10.0, heading_deg: float = 0.0
+) -> Trajectory:
+    """Constant-velocity straight drive."""
+    step = speed_mps / fps
+    heading = np.deg2rad(heading_deg)
+    t = np.arange(n_frames) * step
+    positions = np.column_stack([t * np.cos(heading), t * np.sin(heading)])
+    return Trajectory("straight", positions)
+
+
+def curve(
+    n_frames: int,
+    speed_mps: float = 10.0,
+    fps: float = 10.0,
+    turn_radius_m: float = 30.0,
+) -> Trajectory:
+    """Constant-radius turn (e.g. an intersection)."""
+    step = speed_mps / fps
+    angles = np.arange(n_frames) * step / turn_radius_m
+    positions = np.column_stack(
+        [turn_radius_m * np.sin(angles), turn_radius_m * (1.0 - np.cos(angles))]
+    )
+    return Trajectory("curve", positions)
+
+
+def loop(n_frames: int, radius_m: float = 40.0) -> Trajectory:
+    """A closed loop returning to the start (loop-closure workloads)."""
+    angles = np.linspace(0.0, 2.0 * np.pi, n_frames, endpoint=False)
+    positions = np.column_stack(
+        [radius_m * np.cos(angles) - radius_m, radius_m * np.sin(angles)]
+    )
+    return Trajectory("loop", positions)
+
+
+def generate_sequence(
+    scene_name: str,
+    trajectory: Trajectory,
+    sensor: SensorModel | None = None,
+    seed: int = 0,
+) -> Iterator[PointCloud]:
+    """Yield one frame per trajectory position (sensor-centered coords)."""
+    if scene_name not in SCENE_BUILDERS:
+        raise KeyError(
+            f"unknown scene {scene_name!r}; available: {sorted(SCENE_BUILDERS)}"
+        )
+    if sensor is None:
+        sensor = SensorModel.benchmark_default()
+    scene = SCENE_BUILDERS[scene_name](seed)
+    for index in range(len(trajectory)):
+        yield simulate_frame(
+            scene,
+            sensor,
+            seed=seed * 100003 + index,
+            sensor_xy=trajectory[index],
+        )

@@ -1,0 +1,63 @@
+"""Deflate-style codec: LZ77 factorization + canonical Huffman entropy stage.
+
+The paper compresses the azimuthal delta streams with Deflate [13] because
+neighbouring polylines repeat whole sub-sequences (Step 6).  This codec
+follows the same two-stage recipe — LZ77 to exploit repeats, Huffman to
+squeeze the residual streams — in our own container format (we do not chase
+RFC 1951 bit-compatibility; see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from repro.entropy.huffman import huffman_compress, huffman_decompress
+from repro.entropy.lz77 import Lz77Tokens, lz77_compress_tokens, lz77_decompress_tokens
+from repro.entropy.varint import decode_uvarint, encode_uvarint
+
+__all__ = ["deflate_compress", "deflate_decompress"]
+
+# A tiny input cannot win from the LZ+Huffman headers; store it raw.
+_STORE_THRESHOLD = 64
+
+_MODE_STORED = 0
+_MODE_DEFLATE = 1
+
+
+def deflate_compress(data: bytes, max_chain: int = 32) -> bytes:
+    """Compress ``data``; always decodable by :func:`deflate_decompress`."""
+    if len(data) < _STORE_THRESHOLD:
+        return bytes([_MODE_STORED]) + data
+    tokens = lz77_compress_tokens(data, max_chain=max_chain)
+    literals = huffman_compress(tokens.literals)
+    matches = huffman_compress(tokens.matches)
+    out = bytearray([_MODE_DEFLATE])
+    encode_uvarint(tokens.n_tokens, out)
+    for section in (tokens.flags, literals, matches):
+        encode_uvarint(len(section), out)
+    body = bytes(out) + tokens.flags + literals + matches
+    if len(body) >= len(data) + 1:
+        # Entropy stage lost: fall back to stored mode.
+        return bytes([_MODE_STORED]) + data
+    return body
+
+
+def deflate_decompress(data: bytes) -> bytes:
+    """Inverse of :func:`deflate_compress`."""
+    if not data:
+        raise ValueError("empty deflate stream")
+    mode = data[0]
+    if mode == _MODE_STORED:
+        return data[1:]
+    if mode != _MODE_DEFLATE:
+        raise ValueError(f"unknown deflate mode byte {mode}")
+    pos = 1
+    n_tokens, pos = decode_uvarint(data, pos)
+    sizes = []
+    for _ in range(3):
+        size, pos = decode_uvarint(data, pos)
+        sizes.append(size)
+    flags = data[pos : pos + sizes[0]]
+    pos += sizes[0]
+    literals = huffman_decompress(data[pos : pos + sizes[1]])
+    pos += sizes[1]
+    matches = huffman_decompress(data[pos : pos + sizes[2]])
+    return lz77_decompress_tokens(Lz77Tokens(n_tokens, flags, literals, matches))

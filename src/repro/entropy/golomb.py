@@ -1,0 +1,88 @@
+"""Golomb–Rice coding for geometric-ish integer distributions.
+
+A lightweight database codec (paper Section 2.2 surveys this family): value
+``v`` splits into quotient ``v >> k`` (unary) and remainder (``k`` raw
+bits).  Near-geometric delta streams — polyline lengths, dropout gap runs —
+code close to entropy with the right ``k``, and the optimal ``k`` is cheap
+to estimate from the mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.entropy.bitio import BitReader, BitWriter
+from repro.entropy.varint import decode_uvarint, encode_uvarint, zigzag_decode, zigzag_encode
+
+__all__ = ["rice_parameter_for", "rice_encode", "rice_decode"]
+
+#: Safety cap: a quotient run longer than this means k was absurdly small.
+_MAX_QUOTIENT = 1 << 20
+
+
+def rice_parameter_for(values: np.ndarray) -> int:
+    """A good Rice parameter k for unsigned values (mean-based rule)."""
+    values = np.asarray(values, dtype=np.uint64)
+    if values.size == 0:
+        return 0
+    mean = float(values.mean())
+    k = 0
+    # Rule of thumb: 2^k close to the mean codes ~entropy for geometric data.
+    while (1 << (k + 1)) <= mean + 1.0 and k < 40:
+        k += 1
+    return k
+
+
+def rice_encode(values: np.ndarray, signed: bool = True) -> bytes:
+    """Encode integers with Rice coding; self-contained header.
+
+    Layout: ``uvarint count | uvarint k | flags byte | bitstream``.
+    """
+    arr = np.asarray(values, dtype=np.int64)
+    u = zigzag_encode(arr) if signed else arr.astype(np.uint64)
+    out = bytearray()
+    encode_uvarint(arr.size, out)
+    if arr.size == 0:
+        return bytes(out)
+    k = rice_parameter_for(u)
+    encode_uvarint(k, out)
+    out.append(1 if signed else 0)
+    writer = BitWriter()
+    for value in u.tolist():
+        quotient = value >> k
+        if quotient >= _MAX_QUOTIENT:
+            raise ValueError(
+                f"value {value} too large for Rice parameter {k}; "
+                "use varint/arithmetic coding for heavy-tailed data"
+            )
+        # Unary quotient: `quotient` ones then a zero.
+        while quotient >= 32:
+            writer.write_bits((1 << 32) - 1, 32)
+            quotient -= 32
+        if quotient:
+            writer.write_bits((1 << quotient) - 1, quotient)
+        writer.write_bit(0)
+        if k:
+            writer.write_bits(value & ((1 << k) - 1), k)
+    return bytes(out) + writer.getvalue()
+
+
+def rice_decode(data: bytes) -> np.ndarray:
+    """Inverse of :func:`rice_encode`."""
+    count, pos = decode_uvarint(data, 0)
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    k, pos = decode_uvarint(data, pos)
+    signed = bool(data[pos])
+    pos += 1
+    reader = BitReader(data[pos:])
+    u = np.empty(count, dtype=np.uint64)
+    for i in range(count):
+        quotient = 0
+        while reader.read_bit():
+            quotient += 1
+            if quotient > _MAX_QUOTIENT:
+                raise ValueError("corrupt Rice stream: runaway unary run")
+        remainder = reader.read_bits(k) if k else 0
+        u[i] = (quotient << k) | remainder
+    return zigzag_decode(u) if signed else u.astype(np.int64)

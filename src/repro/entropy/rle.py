@@ -1,0 +1,39 @@
+"""Byte run-length coding.
+
+A lightweight database-style codec (the paper surveys these in Section 2.2);
+used for highly repetitive side streams such as the reference-choice stream
+``L_ref`` when a frame is dominated by flat scenery.
+"""
+
+from __future__ import annotations
+
+from repro.entropy.varint import decode_uvarint, encode_uvarint
+
+__all__ = ["rle_encode", "rle_decode"]
+
+
+def rle_encode(data: bytes) -> bytes:
+    """Encode as ``(byte, varint run length)`` pairs."""
+    out = bytearray()
+    i = 0
+    n = len(data)
+    while i < n:
+        byte = data[i]
+        j = i + 1
+        while j < n and data[j] == byte:
+            j += 1
+        out.append(byte)
+        encode_uvarint(j - i, out)
+        i = j
+    return bytes(out)
+
+
+def rle_decode(data: bytes) -> bytes:
+    """Inverse of :func:`rle_encode`."""
+    out = bytearray()
+    pos = 0
+    while pos < len(data):
+        byte = data[pos]
+        run, pos = decode_uvarint(data, pos + 1)
+        out.extend(bytes([byte]) * run)
+    return bytes(out)

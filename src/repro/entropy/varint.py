@@ -1,0 +1,93 @@
+"""LEB128 varints and zigzag mapping for signed integers.
+
+Delta-encoded coordinate streams are signed and concentrated near zero
+(paper Step 2), so zigzag + varint gives a compact byte representation that
+the arithmetic/Huffman back-ends can then squeeze further.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "encode_uvarint",
+    "decode_uvarint",
+    "encode_varints",
+    "decode_varints",
+    "zigzag_encode",
+    "zigzag_decode",
+]
+
+
+def encode_uvarint(value: int, out: bytearray) -> None:
+    """Append one unsigned LEB128 varint to ``out``."""
+    if value < 0:
+        raise ValueError(f"uvarint cannot encode negative value {value}")
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def decode_uvarint(data: bytes, pos: int) -> tuple[int, int]:
+    """Decode one unsigned varint at ``pos``; return ``(value, next_pos)``."""
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise ValueError("varint too long")
+
+
+def zigzag_encode(values: np.ndarray) -> np.ndarray:
+    """Map signed integers to unsigned: 0,-1,1,-2,2 -> 0,1,2,3,4."""
+    v = np.asarray(values, dtype=np.int64)
+    return ((v << 1) ^ (v >> 63)).astype(np.uint64)
+
+
+def zigzag_decode(values: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag_encode`."""
+    v = np.asarray(values, dtype=np.uint64)
+    return ((v >> np.uint64(1)).astype(np.int64)) ^ -(v & np.uint64(1)).astype(np.int64)
+
+
+def encode_varints(values: Iterable[int] | np.ndarray, signed: bool = True) -> bytes:
+    """Encode an integer sequence as concatenated varints.
+
+    ``signed=True`` zigzag-maps first so small negative values stay short.
+    """
+    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values)
+    if arr.size == 0:
+        return b""
+    arr = arr.astype(np.int64)
+    u = zigzag_encode(arr) if signed else arr.astype(np.uint64)
+    out = bytearray()
+    for value in u.tolist():
+        encode_uvarint(int(value), out)
+    return bytes(out)
+
+
+def decode_varints(data: bytes, count: int, signed: bool = True) -> np.ndarray:
+    """Decode ``count`` varints; inverse of :func:`encode_varints`."""
+    values = np.empty(count, dtype=np.uint64)
+    pos = 0
+    for i in range(count):
+        value, pos = decode_uvarint(data, pos)
+        values[i] = value
+    if signed:
+        return zigzag_decode(values)
+    return values.astype(np.int64)
+
+
+def varint_byte_stream(values: Sequence[int] | np.ndarray, signed: bool = True) -> bytes:
+    """Alias of :func:`encode_varints` named for its role as a byte stream."""
+    return encode_varints(values, signed=signed)

@@ -1,0 +1,55 @@
+"""Evaluation harness: metrics, experiment runners, report rendering.
+
+This subpackage turns the codecs into the paper's experiments: it knows how
+to build every compressor at a given error bound
+(:func:`~repro.eval.harness.make_compressors`), run ratio / timing sweeps
+over scenes and error bounds, verify the error-bound contract on every run,
+and render the resulting tables and figure series as text.
+"""
+
+from repro.eval.analysis import (
+    classification_summary,
+    density_profile,
+    polyline_statistics,
+    stream_entropy_report,
+)
+from repro.eval.ascii_plot import theta_phi_scatter, xoy_web
+from repro.eval.experiments import list_experiments, reproduce
+from repro.eval.harness import (
+    DbgcGeometryCompressor,
+    RatioResult,
+    make_compressors,
+    run_ratio_sweep,
+    run_timing_sweep,
+)
+from repro.eval.metrics import (
+    bandwidth_mbps,
+    compression_ratio,
+    peak_rss_bytes,
+    reconstruction_errors,
+    verify_one_to_one,
+)
+from repro.eval.reporting import render_series, render_table
+
+__all__ = [
+    "DbgcGeometryCompressor",
+    "classification_summary",
+    "density_profile",
+    "list_experiments",
+    "polyline_statistics",
+    "reproduce",
+    "stream_entropy_report",
+    "theta_phi_scatter",
+    "xoy_web",
+    "RatioResult",
+    "bandwidth_mbps",
+    "compression_ratio",
+    "make_compressors",
+    "peak_rss_bytes",
+    "reconstruction_errors",
+    "render_series",
+    "render_table",
+    "run_ratio_sweep",
+    "run_timing_sweep",
+    "verify_one_to_one",
+]

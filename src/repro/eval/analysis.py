@@ -1,0 +1,246 @@
+"""Frame diagnostics: the measurements behind the paper's motivation.
+
+Tools to inspect *why* DBGC behaves as it does on a given frame:
+
+- :func:`density_profile` — points/density per concentric radius
+  (Figure 3b's falloff).
+- :func:`classification_summary` — dense / sparse / outlier split and the
+  resolved clustering parameters (the Section 4.3 percentages).
+- :func:`polyline_statistics` — per-group polyline counts and length
+  distribution (how much structure Algorithm 1 recovers).
+- :func:`stream_entropy_report` — empirical entropy vs coded bits per
+  stream (how close the entropy stages run to their floor).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.clustering import cluster_approx
+from repro.core.grouping import split_into_groups
+from repro.core.params import DBGCParams
+from repro.core.polyline import organize_polylines
+from repro.core.sparse_codec import encode_sparse_group
+from repro.datasets.sensors import SensorModel
+from repro.geometry.points import PointCloud
+from repro.geometry.spherical import cartesian_to_spherical, spherical_error_bounds
+
+__all__ = [
+    "density_profile",
+    "classification_summary",
+    "polyline_statistics",
+    "stream_entropy_report",
+    "empirical_entropy",
+]
+
+
+def empirical_entropy(values: np.ndarray) -> float:
+    """Order-0 entropy of a discrete value sequence, bits/symbol."""
+    values = np.asarray(values)
+    n = values.size
+    if n == 0:
+        return 0.0
+    counts = Counter(values.tolist())
+    return -sum((c / n) * math.log2(c / n) for c in counts.values())
+
+
+def density_profile(
+    cloud: PointCloud, radii: list[float] | None = None
+) -> list[dict[str, float]]:
+    """Point count and volumetric density per concentric radius."""
+    if radii is None:
+        radii = [5.0, 10.0, 20.0, 40.0, 80.0]
+    distances = cloud.radii()
+    profile = []
+    for radius in radii:
+        count = int((distances <= radius).sum())
+        volume = 4.0 / 3.0 * np.pi * radius**3
+        profile.append(
+            {"radius": float(radius), "count": count, "density": count / volume}
+        )
+    return profile
+
+
+@dataclass
+class ClassificationSummary:
+    """Dense/sparse/outlier split of one frame."""
+
+    n_points: int
+    n_dense: int
+    n_sparse: int
+    n_outliers: int
+    eps: float
+    min_pts: int
+
+    @property
+    def dense_fraction(self) -> float:
+        return self.n_dense / self.n_points if self.n_points else 0.0
+
+    @property
+    def sparse_fraction(self) -> float:
+        return self.n_sparse / self.n_points if self.n_points else 0.0
+
+    @property
+    def outlier_fraction(self) -> float:
+        return self.n_outliers / self.n_points if self.n_points else 0.0
+
+
+def classification_summary(
+    cloud: PointCloud,
+    params: DBGCParams | None = None,
+    sensor: SensorModel | None = None,
+) -> ClassificationSummary:
+    """Run clustering + organization and report the three-way point split."""
+    params = params if params is not None else DBGCParams()
+    sensor = sensor if sensor is not None else SensorModel.benchmark_default()
+    min_pts = params.min_pts_for_sensor(sensor.u_theta, sensor.u_phi)
+    dense_mask = cluster_approx(cloud.xyz, params.eps, min_pts)
+    sparse_xyz = cloud.xyz[~dense_mask]
+    n_outliers = 0
+    n_sparse = 0
+    if len(sparse_xyz):
+        groups = split_into_groups(
+            np.linalg.norm(sparse_xyz, axis=1), params.effective_n_groups
+        )
+        for group in groups:
+            xyz = sparse_xyz[group]
+            tpr = cartesian_to_spherical(xyz)
+            lines = organize_polylines(
+                tpr[:, 0], tpr[:, 1], xyz, sensor.u_theta, sensor.u_phi
+            )
+            for line in lines:
+                if len(line) >= 2:
+                    n_sparse += len(line)
+                else:
+                    n_outliers += 1
+    return ClassificationSummary(
+        n_points=len(cloud),
+        n_dense=int(dense_mask.sum()),
+        n_sparse=n_sparse,
+        n_outliers=n_outliers,
+        eps=params.eps,
+        min_pts=min_pts,
+    )
+
+
+@dataclass
+class PolylineStats:
+    """Length distribution of the polylines of one radial group."""
+
+    group: int
+    n_points: int
+    n_lines: int
+    n_outliers: int
+    length_percentiles: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def mean_length(self) -> float:
+        return self.n_points / self.n_lines if self.n_lines else 0.0
+
+
+def polyline_statistics(
+    cloud: PointCloud,
+    params: DBGCParams | None = None,
+    sensor: SensorModel | None = None,
+) -> list[PolylineStats]:
+    """Per-group polyline structure of the sparse points."""
+    params = params if params is not None else DBGCParams()
+    sensor = sensor if sensor is not None else SensorModel.benchmark_default()
+    min_pts = params.min_pts_for_sensor(sensor.u_theta, sensor.u_phi)
+    dense_mask = cluster_approx(cloud.xyz, params.eps, min_pts)
+    sparse_xyz = cloud.xyz[~dense_mask]
+    if not len(sparse_xyz):
+        return []
+    groups = split_into_groups(
+        np.linalg.norm(sparse_xyz, axis=1), params.effective_n_groups
+    )
+    stats = []
+    for gi, group in enumerate(groups):
+        xyz = sparse_xyz[group]
+        tpr = cartesian_to_spherical(xyz)
+        lines = organize_polylines(
+            tpr[:, 0], tpr[:, 1], xyz, sensor.u_theta, sensor.u_phi
+        )
+        real_lines = [line for line in lines if len(line) >= 2]
+        lengths = np.array([len(line) for line in real_lines] or [0])
+        stats.append(
+            PolylineStats(
+                group=gi,
+                n_points=int(sum(len(line) for line in real_lines)),
+                n_lines=len(real_lines),
+                n_outliers=sum(1 for line in lines if len(line) < 2),
+                length_percentiles={
+                    p: float(np.percentile(lengths, p)) for p in (10, 50, 90)
+                },
+            )
+        )
+    return stats
+
+
+def stream_entropy_report(
+    cloud: PointCloud,
+    params: DBGCParams | None = None,
+    sensor: SensorModel | None = None,
+) -> list[dict[str, float]]:
+    """Per-group: within-line delta entropies vs actually coded bits/point.
+
+    The gap between ``H(...)`` and the coded rate is the entropy stage's
+    overhead; the gap between streams shows where a frame's bits go.
+    """
+    params = params if params is not None else DBGCParams()
+    sensor = sensor if sensor is not None else SensorModel.benchmark_default()
+    min_pts = params.min_pts_for_sensor(sensor.u_theta, sensor.u_phi)
+    dense_mask = cluster_approx(cloud.xyz, params.eps, min_pts)
+    sparse_xyz = cloud.xyz[~dense_mask]
+    if not len(sparse_xyz):
+        return []
+    groups = split_into_groups(
+        np.linalg.norm(sparse_xyz, axis=1), params.effective_n_groups
+    )
+    report = []
+    for gi, group in enumerate(groups):
+        xyz = sparse_xyz[group]
+        tpr = cartesian_to_spherical(xyz)
+        lines = [
+            line
+            for line in organize_polylines(
+                tpr[:, 0], tpr[:, 1], xyz, sensor.u_theta, sensor.u_phi
+            )
+            if len(line) >= 2
+        ]
+        if not lines:
+            continue
+        r_max = max(float(tpr[line, 2].max()) for line in lines)
+        q_theta, q_phi, q_r = spherical_error_bounds(
+            params.q_xyz, r_max, strict_cartesian=params.strict_cartesian
+        )
+        tq = np.round(tpr[:, 0] / (2 * q_theta)).astype(np.int64)
+        pq = np.round(tpr[:, 1] / (2 * q_phi)).astype(np.int64)
+        rq = np.round(tpr[:, 2] / (2 * q_r)).astype(np.int64)
+        n_points = sum(len(line) for line in lines)
+        encoding = encode_sparse_group(xyz, params, sensor.u_theta, sensor.u_phi)
+        coded_bits = {
+            name: 8.0 * size / n_points for name, size in encoding.stream_sizes.items()
+        }
+        report.append(
+            {
+                "group": gi,
+                "n_points": n_points,
+                "H_dtheta": empirical_entropy(
+                    np.concatenate([np.diff(tq[line]) for line in lines])
+                ),
+                "H_dphi": empirical_entropy(
+                    np.concatenate([np.diff(pq[line]) for line in lines])
+                ),
+                "H_dr": empirical_entropy(
+                    np.concatenate([np.diff(rq[line]) for line in lines])
+                ),
+                "coded_bits_per_point": coded_bits,
+                "total_bits_per_point": sum(coded_bits.values()),
+            }
+        )
+    return report

@@ -1,0 +1,86 @@
+"""Terminal visualizations of point cloud structure.
+
+Text renderings of the paper's two motivating pictures: the xoy "spider
+web" projection (Figure 1) and the (theta, phi) plane scatter (Figure 5).
+Density maps use a character ramp, so the structure DBGC exploits is
+visible in a terminal or a log file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.points import PointCloud
+from repro.geometry.spherical import cartesian_to_spherical
+
+__all__ = ["density_map", "xoy_web", "theta_phi_scatter"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def density_map(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 72,
+    height: int = 28,
+    x_range: tuple[float, float] | None = None,
+    y_range: tuple[float, float] | None = None,
+) -> str:
+    """Render a 2D histogram of (x, y) as an ASCII density map."""
+    if width < 2 or height < 2:
+        raise ValueError("plot must be at least 2x2 characters")
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size == 0:
+        return "\n".join(" " * width for _ in range(height))
+    x_lo, x_hi = x_range if x_range else (float(x.min()), float(x.max()))
+    y_lo, y_hi = y_range if y_range else (float(y.min()), float(y.max()))
+    x_hi = x_hi if x_hi > x_lo else x_lo + 1.0
+    y_hi = y_hi if y_hi > y_lo else y_lo + 1.0
+    cols = np.clip(((x - x_lo) / (x_hi - x_lo) * (width - 1)).astype(int), 0, width - 1)
+    rows = np.clip(
+        ((y - y_lo) / (y_hi - y_lo) * (height - 1)).astype(int), 0, height - 1
+    )
+    grid = np.zeros((height, width), dtype=np.int64)
+    np.add.at(grid, (rows, cols), 1)
+    # Log scale: LiDAR density spans orders of magnitude.
+    levels = np.zeros_like(grid)
+    occupied = grid > 0
+    if occupied.any():
+        logs = np.log1p(grid[occupied])
+        top = float(logs.max()) or 1.0
+        levels[occupied] = 1 + np.minimum(
+            (logs / top * (len(_RAMP) - 2)).astype(np.int64), len(_RAMP) - 2
+        )
+    lines = [
+        "".join(_RAMP[level] for level in row) for row in levels[::-1]
+    ]  # y grows upward
+    return "\n".join(lines)
+
+
+def xoy_web(cloud: PointCloud, width: int = 72, height: int = 30) -> str:
+    """The paper's Figure 1: the xoy projection's dense-to-sparse web."""
+    extent = float(np.percentile(cloud.radii(), 98)) if len(cloud) else 1.0
+    return density_map(
+        cloud.x,
+        cloud.y,
+        width=width,
+        height=height,
+        x_range=(-extent, extent),
+        y_range=(-extent, extent),
+    )
+
+
+def theta_phi_scatter(cloud: PointCloud, width: int = 72, height: int = 24) -> str:
+    """The paper's Figure 5: points in the (theta, phi) plane.
+
+    Horizontal banding = scan rings; the regular-but-not-grid structure is
+    what the polyline organization exploits.
+    """
+    tpr = cartesian_to_spherical(cloud.xyz)
+    return density_map(
+        tpr[:, 0],
+        -tpr[:, 1],  # phi grows downward from +z; flip so 'up' reads up
+        width=width,
+        height=height,
+    )

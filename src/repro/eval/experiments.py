@@ -1,0 +1,237 @@
+"""Programmatic runners for every paper experiment.
+
+Each function reproduces one table or figure and returns an
+:class:`ExperimentResult` holding the rendered text plus the raw data, so
+callers can assert on shapes (the benchmark suite), print to a terminal
+(``dbgc reproduce``), or post-process.  The benchmarks in ``benchmarks/``
+layer pytest-benchmark timing and shape assertions on top of these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines import OctreeCompressor
+from repro.core.params import DBGCParams
+from repro.core.pipeline import DBGCDecompressor
+from repro.datasets.frames import generate_frame
+from repro.datasets.sensors import SensorModel
+from repro.eval.harness import DbgcGeometryCompressor, make_compressors
+from repro.eval.metrics import peak_rss_bytes
+from repro.eval.reporting import render_series, render_table
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "reproduce", "list_experiments"]
+
+#: The q sweep of the paper's Figure 9 (0.06 cm .. 2 cm).
+Q_SWEEP = [0.0006, 0.002, 0.005, 0.01, 0.02]
+HEADLINE_Q = 0.02
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered text + raw data of one reproduced experiment."""
+
+    experiment: str
+    text: str
+    data: dict = field(default_factory=dict)
+
+
+def _frame(scene: str, sensor: SensorModel | None):
+    return generate_frame(
+        scene, 0, sensor=sensor if sensor is not None else SensorModel.benchmark_default()
+    )
+
+
+def fig3_radius(sensor: SensorModel | None = None) -> ExperimentResult:
+    """Figure 3: octree ratio and density over concentric subset radius."""
+    cloud = _frame("kitti-city", sensor)
+    radii = [5.0, 10.0, 20.0, 40.0, 80.0]
+    distances = cloud.radii()
+    codec = OctreeCompressor(HEADLINE_Q)
+    ratios, densities = [], []
+    for radius in radii:
+        subset = cloud.select(distances <= radius)
+        ratios.append(subset.nbytes_raw() / len(codec.compress(subset)))
+        densities.append(len(subset) / (4.0 / 3.0 * np.pi * radius**3))
+    text = render_series(
+        "radius (m)",
+        [int(r) for r in radii],
+        {"octree ratio (3a)": ratios, "density pts/m^3 (3b)": densities},
+        title=f"Figure 3: octree on concentric city subsets, q = {HEADLINE_Q} m",
+    )
+    return ExperimentResult(
+        "fig3", text, {"radii": radii, "ratios": ratios, "densities": densities}
+    )
+
+
+def fig9_ratio(
+    scene: str = "kitti-city", sensor: SensorModel | None = None
+) -> ExperimentResult:
+    """Figure 9: ratio vs error bound for all methods on one scene."""
+    cloud = _frame(scene, sensor)
+    series: dict[str, list[float]] = {}
+    for q_xyz in Q_SWEEP:
+        for compressor in make_compressors(q_xyz, sensor):
+            payload = compressor.compress(cloud)
+            series.setdefault(compressor.name, []).append(
+                cloud.nbytes_raw() / len(payload)
+            )
+    text = render_series(
+        "q (cm)",
+        [q * 100 for q in Q_SWEEP],
+        series,
+        title=f"Figure 9: compression ratio, {scene} ({len(cloud)} pts)",
+    )
+    return ExperimentResult("fig9", text, {"scene": scene, "series": series})
+
+
+def fig10_split(sensor: SensorModel | None = None) -> ExperimentResult:
+    """Figure 10: ratio vs the fraction of points octree-coded."""
+    cloud = _frame("kitti-city", sensor)
+    fractions = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+    ratios = []
+    for fraction in fractions:
+        codec = DbgcGeometryCompressor(
+            HEADLINE_Q, params=DBGCParams(dense_fraction=fraction), sensor=sensor
+        )
+        ratios.append(cloud.nbytes_raw() / len(codec.compress(cloud)))
+    clustered = DbgcGeometryCompressor(HEADLINE_Q, sensor=sensor)
+    result = clustered.compress_detailed(cloud)
+    clustered_ratio = cloud.nbytes_raw() / result.size
+    n = len(cloud)
+    text = render_series(
+        "% octree",
+        [int(f * 100) for f in fractions],
+        {"manual split ratio": ratios},
+        title=f"Figure 10: octree fraction sweep, kitti-city, q = {HEADLINE_Q} m",
+    )
+    text += (
+        f"\ndensity-based clustering: ratio {clustered_ratio:.2f} with "
+        f"{result.n_dense / n:.1%} dense / {result.n_sparse / n:.1%} sparse / "
+        f"{result.n_outliers / n:.1%} outliers (paper: 39.4% / 60.6% / 1.2%)"
+    )
+    return ExperimentResult(
+        "fig10",
+        text,
+        {
+            "fractions": fractions,
+            "ratios": ratios,
+            "clustered_ratio": clustered_ratio,
+            "dense_fraction": result.n_dense / n,
+            "outlier_fraction": result.n_outliers / n,
+        },
+    )
+
+
+def fig11_ablation(sensor: SensorModel | None = None) -> ExperimentResult:
+    """Figure 11: the -Radial / -Group / -Conversion ablations."""
+    cloud = _frame("kitti-campus", sensor)
+    q_values = [0.002, 0.005, 0.01, 0.02]
+    variants = {
+        "DBGC": DBGCParams(),
+        "-Radial": DBGCParams(radial_reference=False),
+        "-Group": DBGCParams(grouping=False),
+        "-Conversion": DBGCParams(spherical_conversion=False),
+    }
+    series: dict[str, list[float]] = {name: [] for name in variants}
+    for q_xyz in q_values:
+        for name, params in variants.items():
+            codec = DbgcGeometryCompressor(q_xyz, params=params, sensor=sensor)
+            series[name].append(cloud.nbytes_raw() / len(codec.compress(cloud)))
+    relative = {
+        name: sum(v / f for v, f in zip(values, series["DBGC"])) / len(values)
+        for name, values in series.items()
+        if name != "DBGC"
+    }
+    text = render_series(
+        "q (cm)",
+        [q * 100 for q in q_values],
+        series,
+        title="Figure 11: ablation ratios, kitti-campus",
+    )
+    text += "\naverage ratio relative to DBGC: " + ", ".join(
+        f"{name} {rel:.0%}" for name, rel in relative.items()
+    )
+    text += "\n(paper: -Radial 88%, -Group 85%, -Conversion 29%)"
+    return ExperimentResult(
+        "fig11", text, {"series": series, "relative": relative}
+    )
+
+
+def table2_outliers(sensor: SensorModel | None = None) -> ExperimentResult:
+    """Table 2: outlier scheme comparison across the KITTI scenes."""
+    scenes = ["kitti-campus", "kitti-city", "kitti-residential", "kitti-road"]
+    modes = {"Outlier": "quadtree", "Octree": "octree", "None": "none"}
+    ratios: dict[str, list[float]] = {name: [] for name in modes}
+    for scene in scenes:
+        cloud = _frame(scene, sensor)
+        for name, mode in modes.items():
+            codec = DbgcGeometryCompressor(
+                HEADLINE_Q, params=DBGCParams(outlier_mode=mode), sensor=sensor
+            )
+            ratios[name].append(cloud.nbytes_raw() / len(codec.compress(cloud)))
+    rows = [[name] + values for name, values in ratios.items()]
+    text = render_table(
+        ["scheme"] + [s.removeprefix("kitti-") for s in scenes],
+        rows,
+        title=f"Table 2: compression ratios by outlier scheme, q = {HEADLINE_Q} m",
+    )
+    return ExperimentResult("table2", text, {"scenes": scenes, "ratios": ratios})
+
+
+def fig13_breakdown(sensor: SensorModel | None = None) -> ExperimentResult:
+    """Figure 13: DBGC stage time breakdown plus memory."""
+    cloud = _frame("kitti-city", sensor)
+    codec = DbgcGeometryCompressor(HEADLINE_Q, sensor=sensor)
+    result = codec.compress_detailed(cloud)
+    total = sum(result.timings.values())
+    text = render_table(
+        ["stage", "seconds", "fraction"],
+        [
+            [stage.upper(), f"{seconds:.3f}", f"{seconds / total:.0%}"]
+            for stage, seconds in sorted(result.timings.items())
+        ],
+        title=f"Figure 13 (compression): DBGC stage breakdown, q = {HEADLINE_Q} m",
+    )
+    _, dec_timings = DBGCDecompressor().decompress_detailed(result.payload)
+    dec_total = sum(dec_timings.values())
+    text += "\n\n" + render_table(
+        ["stage", "seconds", "fraction"],
+        [
+            [stage.upper(), f"{seconds:.3f}", f"{seconds / dec_total:.0%}"]
+            for stage, seconds in sorted(dec_timings.items())
+        ],
+        title="Figure 13 (decompression): component breakdown",
+    )
+    text += f"\n\npeak RSS of this process: {peak_rss_bytes() / 1e6:.0f} MB"
+    return ExperimentResult(
+        "fig13",
+        text,
+        {"compress_timings": result.timings, "decompress_timings": dec_timings},
+    )
+
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig3": fig3_radius,
+    "fig9": fig9_ratio,
+    "fig10": fig10_split,
+    "fig11": fig11_ablation,
+    "table2": table2_outliers,
+    "fig13": fig13_breakdown,
+}
+
+
+def list_experiments() -> list[str]:
+    """Names accepted by :func:`reproduce`."""
+    return sorted(EXPERIMENTS)
+
+
+def reproduce(name: str, **kwargs) -> ExperimentResult:
+    """Run one named experiment (``fig3``, ``fig9``, ..., ``table2``)."""
+    runner = EXPERIMENTS.get(name)
+    if runner is None:
+        raise KeyError(f"unknown experiment {name!r}; choose from {list_experiments()}")
+    return runner(**kwargs)

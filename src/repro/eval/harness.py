@@ -1,0 +1,214 @@
+"""Experiment runners for the paper's evaluation.
+
+``make_compressors(q)`` builds the five compared schemes at an error bound;
+``run_ratio_sweep`` reproduces the Figure 9 grid (scene x error bound x
+method -> compression ratio and bandwidth), and ``run_timing_sweep``
+reproduces Figure 12 (compression / decompression wall-clock).  Every run
+also checks the error-bound contract, so the harness doubles as an
+integration test of all codecs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines import (
+    GeometryCompressor,
+    GpccCompressor,
+    KdTreeCompressor,
+    OctreeCompressor,
+    OctreeICompressor,
+)
+from repro.core.params import DBGCParams
+from repro.core.pipeline import CompressionResult, DBGCCompressor, DBGCDecompressor
+from repro.datasets.frames import generate_frame
+from repro.datasets.sensors import SensorModel
+from repro.eval.metrics import reconstruction_errors
+from repro.geometry.points import PointCloud
+
+__all__ = [
+    "DbgcGeometryCompressor",
+    "make_compressors",
+    "RatioResult",
+    "run_ratio_sweep",
+    "TimingResult",
+    "run_timing_sweep",
+]
+
+
+class DbgcGeometryCompressor(GeometryCompressor):
+    """DBGC wrapped in the common whole-cloud compressor interface."""
+
+    name = "DBGC"
+
+    def __init__(
+        self,
+        q_xyz: float,
+        params: DBGCParams | None = None,
+        sensor: SensorModel | None = None,
+    ) -> None:
+        super().__init__(q_xyz)
+        base = params if params is not None else DBGCParams()
+        self.params = base.with_updates(q_xyz=q_xyz)
+        self._compressor = DBGCCompressor(self.params, sensor=sensor)
+        self._decompressor = DBGCDecompressor()
+        self._last: tuple[int, CompressionResult] | None = None
+
+    def _result_for(self, cloud: PointCloud) -> CompressionResult:
+        if self._last is not None and self._last[0] == id(cloud):
+            return self._last[1]
+        result = self._compressor.compress_detailed(cloud)
+        self._last = (id(cloud), result)
+        return result
+
+    def compress(self, cloud: PointCloud) -> bytes:
+        return self._result_for(cloud).payload
+
+    def compress_detailed(self, cloud: PointCloud) -> CompressionResult:
+        return self._result_for(cloud)
+
+    def decompress(self, data: bytes) -> PointCloud:
+        return self._decompressor.decompress(data)
+
+    def mapping(self, cloud: PointCloud) -> np.ndarray:
+        return self._result_for(cloud).mapping
+
+
+def make_compressors(
+    q_xyz: float,
+    sensor: SensorModel | None = None,
+    dbgc_params: DBGCParams | None = None,
+) -> list[GeometryCompressor]:
+    """The five schemes of Figure 9 at one error bound."""
+    return [
+        DbgcGeometryCompressor(q_xyz, params=dbgc_params, sensor=sensor),
+        GpccCompressor(q_xyz),
+        OctreeCompressor(q_xyz),
+        OctreeICompressor(q_xyz),
+        KdTreeCompressor(q_xyz),
+    ]
+
+
+@dataclass
+class RatioResult:
+    """One (scene, q, method) measurement."""
+
+    scene: str
+    q_xyz: float
+    method: str
+    ratio: float
+    payload_bytes: int
+    n_points: int
+    max_euclidean_error: float
+
+    def bandwidth_mbps(self, frames_per_second: float = 10.0) -> float:
+        return 8.0 * frames_per_second * self.payload_bytes / 1e6
+
+
+def run_ratio_sweep(
+    scenes: list[str],
+    q_values: list[float],
+    n_frames: int = 1,
+    sensor: SensorModel | None = None,
+    dbgc_params: DBGCParams | None = None,
+    verify_errors: bool = True,
+) -> list[RatioResult]:
+    """Figure 9: ratio per (scene, error bound, method), frame-averaged."""
+    sensor = sensor if sensor is not None else SensorModel.benchmark_default()
+    results: list[RatioResult] = []
+    for scene in scenes:
+        frames = [
+            generate_frame(scene, index, sensor=sensor) for index in range(n_frames)
+        ]
+        for q_xyz in q_values:
+            for compressor in make_compressors(q_xyz, sensor, dbgc_params):
+                total_raw = 0
+                total_compressed = 0
+                total_points = 0
+                worst_error = 0.0
+                for frame in frames:
+                    payload = compressor.compress(frame)
+                    total_raw += frame.nbytes_raw()
+                    total_compressed += len(payload)
+                    total_points += len(frame)
+                    if verify_errors:
+                        decoded = compressor.decompress(payload)
+                        report = reconstruction_errors(
+                            frame, decoded, compressor.mapping(frame)
+                        )
+                        worst_error = max(worst_error, report.max_euclidean)
+                        bound = np.sqrt(3.0) * q_xyz * (1 + 1e-6)
+                        if report.max_euclidean > bound:
+                            raise AssertionError(
+                                f"{compressor.name} violated the error bound "
+                                f"on {scene} at q={q_xyz}"
+                            )
+                results.append(
+                    RatioResult(
+                        scene=scene,
+                        q_xyz=q_xyz,
+                        method=compressor.name,
+                        ratio=total_raw / total_compressed,
+                        payload_bytes=total_compressed // max(len(frames), 1),
+                        n_points=total_points,
+                        max_euclidean_error=worst_error,
+                    )
+                )
+    return results
+
+
+@dataclass
+class TimingResult:
+    """One (q, method) timing measurement (Figure 12)."""
+
+    q_xyz: float
+    method: str
+    compress_seconds: float
+    decompress_seconds: float
+    n_points: int
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+
+def run_timing_sweep(
+    scene: str,
+    q_values: list[float],
+    sensor: SensorModel | None = None,
+    repeats: int = 1,
+) -> list[TimingResult]:
+    """Figure 12: compression/decompression time per method and bound."""
+    sensor = sensor if sensor is not None else SensorModel.benchmark_default()
+    frame = generate_frame(scene, 0, sensor=sensor)
+    results: list[TimingResult] = []
+    for q_xyz in q_values:
+        for compressor in make_compressors(q_xyz, sensor):
+            compress_time = 0.0
+            decompress_time = 0.0
+            stages: dict[str, float] = {}
+            for _ in range(repeats):
+                start = time.perf_counter()
+                payload = compressor.compress(frame)
+                compress_time += time.perf_counter() - start
+                if isinstance(compressor, DbgcGeometryCompressor):
+                    result = compressor.compress_detailed(frame)
+                    for stage, seconds in result.timings.items():
+                        stages[stage] = stages.get(stage, 0.0) + seconds
+                start = time.perf_counter()
+                compressor.decompress(payload)
+                decompress_time += time.perf_counter() - start
+                # Invalidate DBGC's cache so repeats measure real work.
+                if isinstance(compressor, DbgcGeometryCompressor):
+                    compressor._last = None
+            results.append(
+                TimingResult(
+                    q_xyz=q_xyz,
+                    method=compressor.name,
+                    compress_seconds=compress_time / repeats,
+                    decompress_seconds=decompress_time / repeats,
+                    n_points=len(frame),
+                    stage_seconds={k: v / repeats for k, v in stages.items()},
+                )
+            )
+    return results

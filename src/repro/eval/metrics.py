@@ -1,0 +1,105 @@
+"""Evaluation metrics (paper Section 4.1, "Metrics").
+
+- *Compression ratio*: raw cloud size (32-bit float per coordinate, the
+  paper's accounting) divided by ``|B|``.
+- *Bandwidth requirement*: ``8 * f * |B|`` bits per second for ``f`` frames
+  per second.
+- *Reconstruction errors*: per-dimension and Euclidean errors under the
+  codec's original->decoded mapping (Definition 2.2).
+- *One-to-one mapping check*: the problem statement's condition (2).
+- *Peak RSS*: the paper reads ``VmHWM`` from procfs; so do we.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.points import PointCloud
+
+__all__ = [
+    "compression_ratio",
+    "bandwidth_mbps",
+    "ErrorReport",
+    "reconstruction_errors",
+    "verify_one_to_one",
+    "peak_rss_bytes",
+]
+
+
+def compression_ratio(
+    cloud: PointCloud, payload: bytes, bits_per_coordinate: int = 32
+) -> float:
+    """Raw size / compressed size (paper's definition)."""
+    if not payload:
+        raise ValueError("empty payload")
+    return cloud.nbytes_raw(bits_per_coordinate) / len(payload)
+
+
+def bandwidth_mbps(payload_size: int, frames_per_second: float) -> float:
+    """Megabits per second needed to ship one such payload per frame."""
+    return 8.0 * frames_per_second * payload_size / 1e6
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """Reconstruction error summary under a point correspondence."""
+
+    max_abs: float
+    max_euclidean: float
+    mean_euclidean: float
+
+    def within_bound(self, q_xyz: float, spherical: bool = True) -> bool:
+        """Check the paper's guarantee.
+
+        ``spherical=True`` uses the Lemma 3.2 Euclidean bound
+        ``sqrt(3) * q_xyz`` (DBGC polyline points); otherwise the strict
+        per-dimension bound ``q_xyz``.
+        """
+        tolerance = 1.0 + 1e-6
+        if spherical:
+            return self.max_euclidean <= float(np.sqrt(3.0)) * q_xyz * tolerance
+        return self.max_abs <= q_xyz * tolerance
+
+
+def reconstruction_errors(
+    original: PointCloud, decoded: PointCloud, mapping: np.ndarray
+) -> ErrorReport:
+    """Errors between ``original[i]`` and ``decoded[mapping[i]]``."""
+    if len(original) != len(decoded):
+        raise ValueError("clouds must have equal point counts")
+    if len(original) == 0:
+        return ErrorReport(0.0, 0.0, 0.0)
+    diff = decoded.xyz[mapping] - original.xyz
+    euclidean = np.linalg.norm(diff, axis=1)
+    return ErrorReport(
+        max_abs=float(np.abs(diff).max()),
+        max_euclidean=float(euclidean.max()),
+        mean_euclidean=float(euclidean.mean()),
+    )
+
+
+def verify_one_to_one(original: PointCloud, decoded: PointCloud, mapping: np.ndarray) -> bool:
+    """Problem statement condition (2): the mapping is a bijection."""
+    if len(original) != len(decoded) or len(mapping) != len(original):
+        return False
+    seen = np.zeros(len(decoded), dtype=bool)
+    seen[mapping] = True
+    return bool(seen.all())
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process (VmHWM), in bytes.
+
+    Matches the paper's Section 4.4 measurement method.  Returns 0 when
+    procfs is unavailable (non-Linux).
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as f:
+            for line in f:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return 0

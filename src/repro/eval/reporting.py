@@ -1,0 +1,50 @@
+"""Text rendering of benchmark tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table (the benchmark harness output format)."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{v:.2f}" if isinstance(v, float) else str(v) for v in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    divider = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(divider)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """Render figure-style data as a table with one column per x value.
+
+    The paper's figures plot a metric against a swept parameter with one
+    line per method; this renders the same data textually so benchmark
+    output can be diffed against EXPERIMENTS.md.
+    """
+    headers = [x_label] + [str(x) for x in x_values]
+    rows = []
+    for name in series:
+        values = series[name]
+        if len(values) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+        rows.append([name] + [f"{v:.2f}" for v in values])
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,139 @@
+"""Uniform hash grid for fixed-radius neighbor queries.
+
+Density-based clustering (paper Section 3.2) repeatedly asks "how many points
+lie within ``eps`` of ``p``?".  A uniform grid with cell side ``eps`` answers
+this by scanning the 27 cells around ``p``'s cell and range-filtering the
+candidates, which is the standard O(1)-expected-neighbourhood structure for
+DBSCAN-style algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["HashGrid"]
+
+
+class HashGrid:
+    """A uniform grid over 3D points with cell side ``cell_size``.
+
+    Parameters
+    ----------
+    xyz:
+        ``(n, 3)`` coordinate array.  Referenced, not copied.
+    cell_size:
+        Side length of the cubic grid cells.
+    """
+
+    def __init__(self, xyz: np.ndarray, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        self._xyz = np.asarray(xyz, dtype=np.float64)
+        if self._xyz.ndim != 2 or self._xyz.shape[1] != 3:
+            raise ValueError(f"expected (n, 3) array, got {self._xyz.shape}")
+        self.cell_size = float(cell_size)
+        self._cells = np.floor(self._xyz / self.cell_size).astype(np.int64)
+        # Group point indices by cell: sort by cell key, then slice.
+        if len(self._xyz):
+            keys = self._pack(self._cells)
+            order = np.argsort(keys, kind="stable")
+            sorted_keys = keys[order]
+            boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+            starts = np.concatenate([[0], boundaries])
+            ends = np.concatenate([boundaries, [len(keys)]])
+            self._bucket: dict[int, np.ndarray] = {
+                int(sorted_keys[s]): order[s:e] for s, e in zip(starts, ends)
+            }
+        else:
+            self._bucket = {}
+
+    @staticmethod
+    def _pack(cells: np.ndarray) -> np.ndarray:
+        """Pack integer cell coordinates into single int64 keys.
+
+        21 bits per axis (offset by 2^20) covers coordinates in
+        ``[-2^20, 2^20)`` cells, far beyond any LiDAR scene extent.
+        """
+        offset = 1 << 20
+        c = cells + offset
+        if np.any((c < 0) | (c >= (1 << 21))):
+            raise ValueError("cell coordinates out of packable range")
+        return (c[:, 0] << 42) | (c[:, 1] << 21) | c[:, 2]
+
+    def __len__(self) -> int:
+        return self._xyz.shape[0]
+
+    @property
+    def n_occupied_cells(self) -> int:
+        return len(self._bucket)
+
+    def cell_of(self, index: int) -> tuple[int, int, int]:
+        """Grid cell coordinates of point ``index``."""
+        return tuple(int(v) for v in self._cells[index])
+
+    def points_in_cell(self, cell: tuple[int, int, int]) -> np.ndarray:
+        """Indices of points inside one grid cell (possibly empty)."""
+        key = self._pack(np.asarray([cell], dtype=np.int64))[0]
+        return self._bucket.get(int(key), np.empty(0, dtype=np.int64))
+
+    def _candidates_around(self, cell: np.ndarray, reach: int) -> np.ndarray:
+        """Indices of points in the ``(2*reach+1)^3`` block around ``cell``."""
+        chunks = []
+        for dx in range(-reach, reach + 1):
+            for dy in range(-reach, reach + 1):
+                for dz in range(-reach, reach + 1):
+                    key = self._pack(
+                        np.asarray([[cell[0] + dx, cell[1] + dy, cell[2] + dz]], dtype=np.int64)
+                    )[0]
+                    bucket = self._bucket.get(int(key))
+                    if bucket is not None:
+                        chunks.append(bucket)
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+    def neighbors_within(self, index: int, radius: float) -> np.ndarray:
+        """Indices of points (excluding ``index``) within ``radius`` of it."""
+        candidates = self.query_ball(self._xyz[index], radius)
+        return candidates[candidates != index]
+
+    def query_ball(self, center: np.ndarray, radius: float) -> np.ndarray:
+        """Indices of all points within ``radius`` of an arbitrary center."""
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        center = np.asarray(center, dtype=np.float64)
+        cell = np.floor(center / self.cell_size).astype(np.int64)
+        reach = int(np.ceil(radius / self.cell_size))
+        candidates = self._candidates_around(cell, reach)
+        if len(candidates) == 0:
+            return candidates
+        d2 = np.sum((self._xyz[candidates] - center) ** 2, axis=1)
+        return candidates[d2 <= radius * radius]
+
+    def count_within(self, index: int, radius: float) -> int:
+        """Number of neighbors of point ``index`` within ``radius``."""
+        return int(len(self.neighbors_within(index, radius)))
+
+    def occupied_cells(self) -> np.ndarray:
+        """Unique occupied cell coordinates as an ``(m, 3)`` int array."""
+        if not self._bucket:
+            return np.empty((0, 3), dtype=np.int64)
+        keys = np.fromiter(self._bucket.keys(), dtype=np.int64, count=len(self._bucket))
+        return self._unpack(keys)
+
+    @staticmethod
+    def _unpack(keys: np.ndarray) -> np.ndarray:
+        offset = 1 << 20
+        mask = (1 << 21) - 1
+        x = (keys >> 42) & mask
+        y = (keys >> 21) & mask
+        z = keys & mask
+        return np.column_stack([x, y, z]).astype(np.int64) - offset
+
+    def cell_point_counts(self) -> dict[tuple[int, int, int], int]:
+        """Mapping of occupied cell -> number of points inside it."""
+        cells = self.occupied_cells()
+        return {
+            tuple(int(v) for v in cell): len(self._bucket[int(self._pack(cell[None, :])[0])])
+            for cell in cells
+        }

@@ -1,0 +1,84 @@
+"""Cartesian <-> spherical coordinate conversion.
+
+The paper (Section 2.1) represents a point ``p`` in spherical coordinates as
+``(theta_p, phi_p, r_p)`` where ``theta`` is the azimuthal angle, ``phi`` the
+polar angle (measured from the +z axis), and ``r`` the radial distance from
+the sensor origin.  This matches the physics convention:
+
+    x = r * sin(phi) * cos(theta)
+    y = r * sin(phi) * sin(theta)
+    z = r * cos(phi)
+
+``theta`` is returned in ``[0, 2*pi)`` so the azimuth of a spinning LiDAR
+increases monotonically along a scan ring, and ``phi`` in ``[0, pi]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "cartesian_to_spherical",
+    "spherical_to_cartesian",
+    "spherical_error_bounds",
+]
+
+_TWO_PI = 2.0 * np.pi
+
+
+def cartesian_to_spherical(
+    xyz: np.ndarray, origin: np.ndarray | None = None
+) -> np.ndarray:
+    """Convert ``(n, 3)`` Cartesian coordinates to ``(theta, phi, r)``.
+
+    Points coincident with the origin get ``theta = phi = 0``.
+    """
+    pts = np.asarray(xyz, dtype=np.float64)
+    if origin is not None:
+        pts = pts - np.asarray(origin, dtype=np.float64)
+    x, y, z = pts[:, 0], pts[:, 1], pts[:, 2]
+    r = np.sqrt(x * x + y * y + z * z)
+    theta = np.arctan2(y, x)
+    theta = np.where(theta < 0.0, theta + _TWO_PI, theta)
+    with np.errstate(invalid="ignore"):
+        cos_phi = np.where(r > 0.0, z / np.where(r > 0.0, r, 1.0), 1.0)
+    phi = np.arccos(np.clip(cos_phi, -1.0, 1.0))
+    theta = np.where(r > 0.0, theta, 0.0)
+    return np.column_stack([theta, phi, r])
+
+
+def spherical_to_cartesian(
+    tpr: np.ndarray, origin: np.ndarray | None = None
+) -> np.ndarray:
+    """Convert ``(n, 3)`` spherical ``(theta, phi, r)`` back to Cartesian."""
+    tpr = np.asarray(tpr, dtype=np.float64)
+    theta, phi, r = tpr[:, 0], tpr[:, 1], tpr[:, 2]
+    sin_phi = np.sin(phi)
+    xyz = np.column_stack(
+        [r * sin_phi * np.cos(theta), r * sin_phi * np.sin(theta), r * np.cos(phi)]
+    )
+    if origin is not None:
+        xyz = xyz + np.asarray(origin, dtype=np.float64)
+    return xyz
+
+
+def spherical_error_bounds(
+    q_xyz: float, r_max: float, strict_cartesian: bool = False
+) -> tuple[float, float, float]:
+    """Per-dimension spherical error bounds for a Cartesian bound ``q_xyz``.
+
+    Implements the paper's Step 1 choice: ``q_theta = q_phi = q_xyz / r_max``
+    and ``q_r = q_xyz``.  Lemma 3.2 then bounds the Euclidean reconstruction
+    error by ``sqrt(2 + sin^2(phi)) * q_xyz <= sqrt(3) * q_xyz``, i.e. by the
+    worst-case Euclidean error of the Cartesian bound itself.
+
+    With ``strict_cartesian=True`` every bound is tightened by ``1/sqrt(3)``
+    so even the *per-dimension* Cartesian error stays below ``q_xyz``.
+    """
+    if q_xyz <= 0:
+        raise ValueError(f"q_xyz must be positive, got {q_xyz}")
+    if r_max <= 0:
+        raise ValueError(f"r_max must be positive, got {r_max}")
+    scale = 1.0 / np.sqrt(3.0) if strict_cartesian else 1.0
+    q_angle = scale * q_xyz / r_max
+    return q_angle, q_angle, scale * q_xyz

@@ -1,0 +1,31 @@
+"""Tree-based geometry coders.
+
+- :mod:`~repro.octree.morton` — bit-interleaving utilities shared by all
+  tree coders.
+- :class:`~repro.octree.codec.OctreeCodec` — the breadth-first
+  occupancy-code octree coder of Botsch et al. [7], used by DBGC for dense
+  points and by the Octree / Octree_i / G-PCC baselines.
+- :class:`~repro.octree.quadtree.QuadtreeCodec` — the 2D analogue used by
+  DBGC's optimized outlier compressor (x, y in the tree; z as an attribute).
+"""
+
+from repro.octree.codec import OctreeCodec
+from repro.octree.morton import (
+    deinterleave2,
+    deinterleave3,
+    interleave2,
+    interleave3,
+)
+from repro.octree.octree import OctreeStructure, build_octree_structure
+from repro.octree.quadtree import QuadtreeCodec
+
+__all__ = [
+    "OctreeCodec",
+    "OctreeStructure",
+    "QuadtreeCodec",
+    "build_octree_structure",
+    "deinterleave2",
+    "deinterleave3",
+    "interleave2",
+    "interleave3",
+]

@@ -1,0 +1,28 @@
+"""The end-to-end DBGC system (paper Figure 2).
+
+A :class:`~repro.system.client.DbgcClient` pulls frames from a (simulated)
+sensor, compresses them, and ships the bit sequences over a TCP connection
+shaped to a mobile-network bandwidth
+(:class:`~repro.system.channel.BandwidthShaper`).  A
+:class:`~repro.system.server.DbgcServer` receives, decompresses (or stores
+the raw stream), and writes frames into a
+:class:`~repro.system.storage.FileFrameStore` or
+:class:`~repro.system.storage.SqliteFrameStore`.  Per-frame stage
+timestamps support the Section 4.4 throughput / latency evaluation.
+"""
+
+from repro.system.channel import BandwidthShaper
+from repro.system.client import DbgcClient
+from repro.system.metrics import FrameTrace, PipelineReport
+from repro.system.server import DbgcServer
+from repro.system.storage import FileFrameStore, SqliteFrameStore
+
+__all__ = [
+    "BandwidthShaper",
+    "DbgcClient",
+    "DbgcServer",
+    "FileFrameStore",
+    "FrameTrace",
+    "PipelineReport",
+    "SqliteFrameStore",
+]

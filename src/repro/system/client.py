@@ -1,0 +1,101 @@
+"""The DBGC client: acquire, compress, ship over the uplink.
+
+Wraps a :class:`~repro.core.pipeline.DBGCCompressor` behind a TCP sender
+whose pacing emulates the mobile uplink (paper Figure 2, client side).
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import time
+from typing import Iterable
+
+from repro.core.params import DBGCParams
+from repro.core.pipeline import DBGCCompressor
+from repro.datasets.sensors import SensorModel
+from repro.geometry.points import PointCloud
+from repro.system.channel import BandwidthShaper
+from repro.system.metrics import FrameTrace, PipelineReport
+
+__all__ = ["DbgcClient"]
+
+_FRAME_HEADER = struct.Struct("<II")
+_END_MARKER = 0xFFFFFFFF
+
+
+class DbgcClient:
+    """Compress frames and send them to a :class:`DbgcServer`.
+
+    Parameters
+    ----------
+    address:
+        Server ``(host, port)``.
+    params, sensor:
+        Compression configuration.
+    channel:
+        Optional uplink shaper; when given, sends are paced to its
+        bandwidth so end-to-end latency reflects the constrained link.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        params: DBGCParams | None = None,
+        sensor: SensorModel | None = None,
+        channel: BandwidthShaper | None = None,
+    ) -> None:
+        self.compressor = DBGCCompressor(params, sensor=sensor)
+        self.channel = channel
+        self._sock = socket.create_connection(address, timeout=30.0)
+        self.report = PipelineReport()
+
+    def send_frame(self, frame_index: int, cloud: PointCloud) -> FrameTrace:
+        """Compress and transmit one frame; returns its (partial) trace.
+
+        ``received_at``/``stored_at`` stay zero here; the benchmark driver
+        merges them from the server's receipts after :meth:`close`.
+        """
+        captured_at = time.perf_counter()
+        payload = self.compressor.compress(cloud)
+        compressed_at = time.perf_counter()
+        # Transmission starts now; the shaper delays delivery by the link's
+        # serialization time, so the server's receive timestamp reflects a
+        # constrained uplink rather than the loopback.
+        sent_at = compressed_at
+        if self.channel is not None:
+            self.channel.pace(len(payload), sent_at)
+        self._sock.sendall(_FRAME_HEADER.pack(frame_index, len(payload)))
+        self._sock.sendall(payload)
+        trace = FrameTrace(
+            frame_index=frame_index,
+            n_points=len(cloud),
+            payload_bytes=len(payload),
+            captured_at=captured_at,
+            compressed_at=compressed_at,
+            sent_at=sent_at,
+        )
+        self.report.add(trace)
+        return trace
+
+    def send_stream(self, frames: Iterable[PointCloud]) -> PipelineReport:
+        """Send a whole frame stream and return the accumulated report."""
+        for index, cloud in enumerate(frames):
+            self.send_frame(index, cloud)
+        return self.report
+
+    def close(self) -> None:
+        """Signal end-of-stream and close the connection."""
+        try:
+            self._sock.sendall(_FRAME_HEADER.pack(_END_MARKER, 0))
+        finally:
+            self._sock.close()
+
+    def merge_receipts(self, receipts: list[tuple[int, int, float, float]]) -> None:
+        """Fill server-side timestamps into this client's traces."""
+        by_index = {t.frame_index: t for t in self.report.traces}
+        for frame_index, _, received_at, stored_at in receipts:
+            trace = by_index.get(frame_index)
+            if trace is not None:
+                trace.received_at = received_at
+                trace.stored_at = stored_at

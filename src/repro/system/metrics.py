@@ -1,0 +1,86 @@
+"""Per-frame pipeline instrumentation for the Section 4.4 evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FrameTrace", "PipelineReport"]
+
+
+@dataclass
+class FrameTrace:
+    """Stage timestamps of one frame's trip through the system.
+
+    All fields are ``time.perf_counter()`` readings on the producing host
+    (client and server run on one machine in this prototype, so the clock
+    is shared).
+    """
+
+    frame_index: int
+    n_points: int
+    payload_bytes: int
+    captured_at: float
+    compressed_at: float = 0.0
+    sent_at: float = 0.0
+    received_at: float = 0.0
+    stored_at: float = 0.0
+
+    @property
+    def compress_latency(self) -> float:
+        return self.compressed_at - self.captured_at
+
+    @property
+    def transfer_latency(self) -> float:
+        return self.received_at - self.sent_at
+
+    @property
+    def server_latency(self) -> float:
+        return self.stored_at - self.received_at
+
+    @property
+    def total_latency(self) -> float:
+        return self.stored_at - self.captured_at
+
+
+@dataclass
+class PipelineReport:
+    """Aggregate over many frame traces."""
+
+    traces: list[FrameTrace] = field(default_factory=list)
+
+    def add(self, trace: FrameTrace) -> None:
+        self.traces.append(trace)
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.traces)
+
+    def _mean(self, values: list[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def mean_total_latency(self) -> float:
+        return self._mean([t.total_latency for t in self.traces])
+
+    @property
+    def mean_compress_latency(self) -> float:
+        return self._mean([t.compress_latency for t in self.traces])
+
+    @property
+    def mean_transfer_latency(self) -> float:
+        return self._mean([t.transfer_latency for t in self.traces])
+
+    @property
+    def mean_payload_bytes(self) -> float:
+        return self._mean([float(t.payload_bytes) for t in self.traces])
+
+    def throughput_fps(self) -> float:
+        """Frames stored per second over the observed window."""
+        if len(self.traces) < 2:
+            return 0.0
+        span = self.traces[-1].stored_at - self.traces[0].captured_at
+        return self.n_frames / span if span > 0 else 0.0
+
+    def bandwidth_mbps(self, frames_per_second: float) -> float:
+        """Average link bandwidth needed at the sensor's frame rate."""
+        return 8.0 * frames_per_second * self.mean_payload_bytes / 1e6

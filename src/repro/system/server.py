@@ -1,0 +1,114 @@
+"""The DBGC server: receive, decompress (or store raw), persist.
+
+Frames arrive over TCP as length-prefixed messages.  The server either
+decompresses each bit sequence and stores the cloud, or bypasses
+decompression and stores the payload directly (both modes appear in the
+paper's Figure 2).
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+
+from repro.core.pipeline import DBGCDecompressor
+from repro.system.storage import FileFrameStore, SqliteFrameStore
+
+__all__ = ["DbgcServer", "recv_exact"]
+
+_FRAME_HEADER = struct.Struct("<II")
+_END_MARKER = 0xFFFFFFFF
+
+
+def recv_exact(conn: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise ``ConnectionError``."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = conn.recv(remaining)
+        if not chunk:
+            raise ConnectionError("peer closed mid-message")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class DbgcServer:
+    """A one-connection frame sink running on a background thread.
+
+    Parameters
+    ----------
+    store:
+        Frame store to persist into.
+    mode:
+        ``"decompress"`` — decompress and store clouds;
+        ``"store"`` — store compressed payloads directly.
+    host, port:
+        Listen address; port 0 picks a free port (see :attr:`address`).
+    """
+
+    def __init__(
+        self,
+        store: FileFrameStore | SqliteFrameStore,
+        mode: str = "decompress",
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if mode not in ("decompress", "store"):
+            raise ValueError(f"unknown server mode {mode!r}")
+        self.store = store
+        self.mode = mode
+        self._decompressor = DBGCDecompressor()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(1)
+        self._thread: threading.Thread | None = None
+        self._error: BaseException | None = None
+        #: (frame_index, payload_bytes, received_at, stored_at) per frame.
+        self.receipts: list[tuple[int, int, float, float]] = []
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._listener.getsockname()
+
+    def start(self) -> "DbgcServer":
+        """Begin accepting one client connection in the background."""
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+        return self
+
+    def _serve(self) -> None:
+        try:
+            conn, _ = self._listener.accept()
+            with conn:
+                while True:
+                    header = recv_exact(conn, _FRAME_HEADER.size)
+                    frame_index, size = _FRAME_HEADER.unpack(header)
+                    if frame_index == _END_MARKER:
+                        break
+                    payload = recv_exact(conn, size)
+                    received_at = time.perf_counter()
+                    if self.mode == "decompress":
+                        cloud = self._decompressor.decompress(payload)
+                        self.store.put_cloud(frame_index, cloud)
+                    else:
+                        self.store.put_payload(frame_index, payload)
+                    self.receipts.append(
+                        (frame_index, size, received_at, time.perf_counter())
+                    )
+        except BaseException as exc:  # surfaced via join()
+            self._error = exc
+        finally:
+            self._listener.close()
+
+    def join(self, timeout: float = 30.0) -> None:
+        """Wait for the client to disconnect; re-raise any server error."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise TimeoutError("server did not finish in time")
+        if self._error is not None:
+            raise self._error

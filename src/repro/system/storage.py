@@ -1,0 +1,104 @@
+"""Server-side frame stores.
+
+The paper's server either decompresses and processes frames or stores the
+compressed bit sequence directly; storage goes to files or to a relational
+database (they use ODBC — we use the stdlib's SQLite, the same access
+pattern without a driver dependency).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+
+import numpy as np
+
+from repro.geometry.points import PointCloud
+
+__all__ = ["FileFrameStore", "SqliteFrameStore"]
+
+
+class FileFrameStore:
+    """One file per frame under a directory.
+
+    Compressed payloads are stored verbatim (``.dbgc``); decompressed
+    clouds as NPZ.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def put_payload(self, frame_index: int, payload: bytes) -> Path:
+        path = self.root / f"frame_{frame_index:06d}.dbgc"
+        path.write_bytes(payload)
+        return path
+
+    def get_payload(self, frame_index: int) -> bytes:
+        return (self.root / f"frame_{frame_index:06d}.dbgc").read_bytes()
+
+    def put_cloud(self, frame_index: int, cloud: PointCloud) -> Path:
+        path = self.root / f"frame_{frame_index:06d}.npz"
+        np.savez_compressed(path, xyz=cloud.xyz)
+        return path
+
+    def get_cloud(self, frame_index: int) -> PointCloud:
+        with np.load(self.root / f"frame_{frame_index:06d}.npz") as data:
+            return PointCloud(data["xyz"])
+
+    def __len__(self) -> int:
+        return len(list(self.root.glob("frame_*")))
+
+
+class SqliteFrameStore:
+    """Frames as BLOB rows in a SQLite table."""
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self._conn = sqlite3.connect(str(path), check_same_thread=False)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS frames ("
+            " frame_index INTEGER PRIMARY KEY,"
+            " kind TEXT NOT NULL,"
+            " n_points INTEGER NOT NULL,"
+            " data BLOB NOT NULL)"
+        )
+        self._conn.commit()
+
+    def put_payload(self, frame_index: int, payload: bytes, n_points: int = 0) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO frames VALUES (?, 'payload', ?, ?)",
+            (frame_index, n_points, payload),
+        )
+        self._conn.commit()
+
+    def get_payload(self, frame_index: int) -> bytes:
+        row = self._conn.execute(
+            "SELECT data FROM frames WHERE frame_index = ? AND kind = 'payload'",
+            (frame_index,),
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no payload for frame {frame_index}")
+        return row[0]
+
+    def put_cloud(self, frame_index: int, cloud: PointCloud) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO frames VALUES (?, 'cloud', ?, ?)",
+            (frame_index, len(cloud), cloud.xyz.tobytes()),
+        )
+        self._conn.commit()
+
+    def get_cloud(self, frame_index: int) -> PointCloud:
+        row = self._conn.execute(
+            "SELECT n_points, data FROM frames WHERE frame_index = ? AND kind = 'cloud'",
+            (frame_index,),
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no cloud for frame {frame_index}")
+        n_points, blob = row
+        return PointCloud(np.frombuffer(blob, dtype=np.float64).reshape(n_points, 3))
+
+    def __len__(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM frames").fetchone()[0]
+
+    def close(self) -> None:
+        self._conn.close()

@@ -1,0 +1,65 @@
+"""Tests for the ASCII visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_frame
+from repro.eval.ascii_plot import density_map, theta_phi_scatter, xoy_web
+from repro.geometry import PointCloud
+
+
+class TestDensityMap:
+    def test_dimensions(self):
+        rng = np.random.default_rng(0)
+        text = density_map(rng.normal(size=100), rng.normal(size=100), 40, 10)
+        lines = text.split("\n")
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines)
+
+    def test_empty_input(self):
+        text = density_map(np.array([]), np.array([]), 20, 5)
+        assert text.count("\n") == 4
+        assert set(text) <= {" ", "\n"}
+
+    def test_single_point(self):
+        text = density_map(np.array([0.0]), np.array([0.0]), 10, 4)
+        assert any(ch not in " \n" for ch in text)
+
+    def test_denser_cell_darker(self):
+        x = np.concatenate([np.zeros(100), np.ones(1)])
+        y = np.zeros(101)
+        text = density_map(x, y, 10, 3, x_range=(0, 1), y_range=(-1, 1))
+        row = text.split("\n")[1]
+        ramp = " .:-=+*#%@"
+        assert ramp.index(row[0]) > ramp.index(row[-1])
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            density_map(np.zeros(1), np.zeros(1), 1, 1)
+
+    def test_y_grows_upward(self):
+        text = density_map(
+            np.array([0.0]), np.array([1.0]), 5, 5, x_range=(0, 1), y_range=(0, 1)
+        )
+        lines = text.split("\n")
+        assert lines[0].strip() != ""  # top row holds the high-y point
+        assert lines[-1].strip() == ""
+
+
+class TestFramePlots:
+    @pytest.fixture(scope="class")
+    def frame(self):
+        return PointCloud(generate_frame("kitti-city", 0).xyz[::4])
+
+    def test_xoy_web_renders(self, frame):
+        text = xoy_web(frame, width=40, height=16)
+        assert len(text.split("\n")) == 16
+        # The web has far more occupied cells near the center row/column.
+        assert any(ch not in " \n" for ch in text)
+
+    def test_theta_phi_banding(self, frame):
+        text = theta_phi_scatter(frame, width=50, height=12)
+        lines = text.split("\n")
+        # Scan rings: most rows are mostly occupied, a few mostly empty.
+        occupancy = [sum(c != " " for c in line) / len(line) for line in lines]
+        assert max(occupancy) > 0.5

@@ -1,0 +1,123 @@
+"""Tests for the re-implemented baseline compressors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DeflateCompressor,
+    GpccCompressor,
+    KdTreeCompressor,
+    OctreeCompressor,
+    OctreeICompressor,
+)
+from repro.datasets import generate_frame
+from repro.geometry import PointCloud
+
+ALL_BASELINES = [
+    OctreeCompressor,
+    OctreeICompressor,
+    KdTreeCompressor,
+    GpccCompressor,
+    DeflateCompressor,
+]
+
+
+@pytest.fixture(scope="module")
+def frame():
+    pc = generate_frame("kitti-campus", 0)
+    return PointCloud(pc.xyz[::4])
+
+
+def _random_cloud(n, scale=30.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return PointCloud(rng.uniform(-scale, scale, size=(n, 3)))
+
+
+class TestContracts:
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_rejects_bad_bound(self, cls):
+        with pytest.raises(ValueError):
+            cls(0.0)
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_empty_cloud(self, cls):
+        codec = cls(0.02)
+        data = codec.compress(PointCloud.empty())
+        assert len(codec.decompress(data)) == 0
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_single_point(self, cls):
+        codec = cls(0.02)
+        cloud = PointCloud(np.array([[3.21, -4.56, 7.89]]))
+        decoded = codec.decompress(codec.compress(cloud))
+        assert len(decoded) == 1
+        assert np.abs(decoded.xyz - cloud.xyz).max() <= 0.02 + 1e-9
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_roundtrip_error_bound_random(self, cls):
+        q = 0.02
+        codec = cls(q)
+        cloud = _random_cloud(800)
+        decoded = codec.decompress(codec.compress(cloud))
+        assert len(decoded) == len(cloud)
+        mapping = codec.mapping(cloud)
+        assert np.abs(decoded.xyz[mapping] - cloud.xyz).max() <= q + 1e-9
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_roundtrip_error_bound_frame(self, cls, frame):
+        q = 0.05
+        codec = cls(q)
+        decoded = codec.decompress(codec.compress(frame))
+        mapping = codec.mapping(frame)
+        assert np.abs(decoded.xyz[mapping] - frame.xyz).max() <= q + 1e-9
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_mapping_is_permutation(self, cls, frame):
+        mapping = cls(0.02).mapping(frame)
+        assert sorted(mapping.tolist()) == list(range(len(frame)))
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_duplicates_preserved(self, cls):
+        codec = cls(0.02)
+        cloud = PointCloud(np.repeat([[1.0, 2.0, 3.0], [-5.0, 0.0, 2.0]], 9, axis=0))
+        assert len(codec.decompress(codec.compress(cloud))) == 18
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_smaller_q_larger_stream(self, cls, frame):
+        fine = len(cls(0.005).compress(frame))
+        coarse = len(cls(0.08).compress(frame))
+        assert coarse < fine
+
+
+class TestRelativeBehaviour:
+    """The qualitative relationships the paper's evaluation reports."""
+
+    def test_all_beat_raw_on_frames(self, frame):
+        for cls in ALL_BASELINES:
+            ratio = cls(0.02).compression_ratio(frame)
+            assert ratio > 3.0, cls.name
+
+    def test_octree_i_close_to_octree(self, frame):
+        """Octree_i trades group overhead for context gains: within 20%."""
+        octree = OctreeCompressor(0.02).compression_ratio(frame)
+        octree_i = OctreeICompressor(0.02).compression_ratio(frame)
+        assert abs(octree - octree_i) / octree < 0.25
+
+    def test_gpcc_beats_plain_octree_on_sparse(self):
+        """G-PCC's IDCM pays off on very sparse clouds."""
+        rng = np.random.default_rng(1)
+        sparse = PointCloud(rng.uniform(-80, 80, size=(2000, 3)))
+        gpcc = len(GpccCompressor(0.02).compress(sparse))
+        octree = len(OctreeCompressor(0.02).compress(sparse))
+        assert gpcc < octree
+
+    def test_octree_ratio_decays_with_radius(self):
+        """Figure 3a: concentric subsets compress worse as radius grows."""
+        pc = generate_frame("kitti-city", 0)
+        radii = pc.radii()
+        codec = OctreeCompressor(0.02)
+        ratios = []
+        for radius in (5.0, 15.0, 60.0):
+            subset = pc.select(radii <= radius)
+            ratios.append(subset.nbytes_raw() / len(codec.compress(subset)))
+        assert ratios[0] > ratios[1] > ratios[2]

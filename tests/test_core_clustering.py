@@ -1,0 +1,99 @@
+"""Tests for density-based clustering."""
+
+import numpy as np
+import pytest
+
+from repro.core import cluster_approx, cluster_exact, split_by_fraction
+
+
+def _two_blobs(n_dense=400, n_sparse=60, seed=0):
+    """A tight blob (dense) plus far-flung scatter (sparse)."""
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(0.0, 0.05, size=(n_dense, 3))
+    sparse = rng.uniform(5.0, 30.0, size=(n_sparse, 3)) * rng.choice(
+        [-1.0, 1.0], size=(n_sparse, 3)
+    )
+    xyz = np.vstack([dense, sparse])
+    expected = np.zeros(len(xyz), dtype=bool)
+    expected[:n_dense] = True
+    return xyz, expected
+
+
+class TestExact:
+    def test_empty(self):
+        assert cluster_exact(np.empty((0, 3)), 0.2, 10, 0.04).size == 0
+
+    def test_blob_vs_scatter(self):
+        xyz, expected = _two_blobs()
+        mask = cluster_exact(xyz, eps=0.2, min_pts=20, cell_side=0.04)
+        # All blob points dense, no far scatter point dense.
+        assert mask[expected].mean() > 0.95
+        assert not mask[~expected].any()
+
+    def test_min_pts_controls_strictness(self):
+        xyz, expected = _two_blobs()
+        lenient = cluster_exact(xyz, 0.2, 5, 0.04)
+        strict = cluster_exact(xyz, 0.2, 500, 0.04)
+        assert lenient.sum() >= strict.sum()
+        assert strict.sum() == 0  # nothing that dense here
+
+    def test_cell_absorption(self):
+        """A sparse point sharing a leaf cell with a core point turns dense."""
+        rng = np.random.default_rng(1)
+        blob = rng.normal(0.0, 0.02, size=(100, 3))
+        # One extra point inside the blob's cell region but call it "its own":
+        # it will be absorbed either via neighbor expansion or the cell pass.
+        extra = np.array([[0.01, 0.01, 0.01]])
+        xyz = np.vstack([blob, extra])
+        mask = cluster_exact(xyz, eps=0.1, min_pts=30, cell_side=0.2)
+        assert mask[-1]
+
+    def test_all_isolated_points_sparse(self):
+        xyz = np.diag([10.0, 20.0, 30.0])
+        mask = cluster_exact(xyz, eps=0.2, min_pts=2, cell_side=0.04)
+        assert not mask.any()
+
+
+class TestApprox:
+    def test_empty(self):
+        assert cluster_approx(np.empty((0, 3)), 0.2, 10).size == 0
+
+    def test_blob_vs_scatter(self):
+        xyz, expected = _two_blobs()
+        mask = cluster_approx(xyz, eps=0.2, min_pts=20)
+        assert mask[expected].all()  # grid over-approximates, never misses
+        assert mask[~expected].sum() == 0
+
+    def test_agrees_with_exact_on_realistic_data(self):
+        """Section 4.3: the two methods produce nearly the same dense set."""
+        from repro.datasets import generate_frame
+
+        xyz = generate_frame("kitti-city", 0).xyz[::4]
+        exact = cluster_exact(xyz, 0.2, 60, 0.04)
+        approx = cluster_approx(xyz, 0.2, 60)
+        agreement = (exact == approx).mean()
+        assert agreement > 0.9
+
+    def test_dilation_absorbs_border_cells(self):
+        rng = np.random.default_rng(2)
+        blob = rng.normal(0.0, 0.05, size=(300, 3))
+        border = np.array([[0.25, 0.0, 0.0]])  # next cell over
+        xyz = np.vstack([blob, border])
+        mask = cluster_approx(xyz, eps=0.2, min_pts=50)
+        assert mask[-1]
+
+
+class TestSplitByFraction:
+    def test_bounds(self):
+        xyz = np.random.default_rng(0).normal(size=(100, 3))
+        assert split_by_fraction(xyz, 0.0).sum() == 0
+        assert split_by_fraction(xyz, 1.0).sum() == 100
+
+    def test_takes_nearest(self):
+        xyz = np.array([[1.0, 0, 0], [5.0, 0, 0], [2.0, 0, 0], [10.0, 0, 0]])
+        mask = split_by_fraction(xyz, 0.5)
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            split_by_fraction(np.zeros((1, 3)), -0.1)

@@ -1,0 +1,58 @@
+"""Tests for the classic point-based DBSCAN reference implementation."""
+
+import numpy as np
+import pytest
+
+from repro.core import cluster_dbscan, cluster_exact
+
+
+def _two_blobs(n_dense=300, n_sparse=40, seed=0):
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(0.0, 0.05, size=(n_dense, 3))
+    sparse = rng.uniform(5.0, 30.0, size=(n_sparse, 3)) * rng.choice(
+        [-1.0, 1.0], size=(n_sparse, 3)
+    )
+    xyz = np.vstack([dense, sparse])
+    expected = np.zeros(len(xyz), dtype=bool)
+    expected[:n_dense] = True
+    return xyz, expected
+
+
+class TestDbscan:
+    def test_empty(self):
+        assert cluster_dbscan(np.empty((0, 3)), 0.2, 5).size == 0
+
+    def test_blob_vs_scatter(self):
+        xyz, expected = _two_blobs()
+        mask = cluster_dbscan(xyz, eps=0.2, min_pts=20)
+        assert mask[expected].all()
+        assert not mask[~expected].any()
+
+    def test_border_points_included(self):
+        # A point reachable from a core point but not core itself is dense.
+        core_blob = np.zeros((30, 3)) + np.linspace(0, 0.01, 30)[:, None]
+        border = np.array([[0.15, 0.0, 0.0]])
+        xyz = np.vstack([core_blob, border])
+        mask = cluster_dbscan(xyz, eps=0.2, min_pts=10)
+        assert mask[-1]
+
+    def test_noise_stays_out(self):
+        xyz = np.diag([5.0, 10.0, 15.0])
+        assert not cluster_dbscan(xyz, eps=0.2, min_pts=2).any()
+
+    def test_two_separate_clusters(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.0, 0.05, size=(100, 3))
+        b = rng.normal(10.0, 0.05, size=(100, 3))
+        mask = cluster_dbscan(np.vstack([a, b]), eps=0.2, min_pts=20)
+        assert mask.all()
+
+    def test_close_to_cell_based_on_frames(self):
+        from repro.datasets import generate_frame
+
+        xyz = generate_frame("kitti-road", 0).xyz[::4]
+        dbscan = cluster_dbscan(xyz, 0.2, 8)
+        exact = cluster_exact(xyz, 0.2, 8, 0.04)
+        # Cell-based absorbs extra same-cell points; DBSCAN adds border
+        # points: the sets differ slightly but must largely agree.
+        assert (dbscan == exact).mean() > 0.85

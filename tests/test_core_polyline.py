@@ -1,0 +1,117 @@
+"""Tests for polyline organization (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import organize_polylines
+from repro.geometry.spherical import spherical_to_cartesian
+
+
+def _ring(n, phi, r=10.0, theta_step=0.01, theta0=0.0):
+    """Points along one scan ring (constant phi, stepping theta)."""
+    theta = theta0 + np.arange(n) * theta_step
+    tpr = np.column_stack([theta, np.full(n, phi), np.full(n, r)])
+    return theta, np.full(n, phi), spherical_to_cartesian(tpr)
+
+
+class TestOrganize:
+    def test_empty(self):
+        assert organize_polylines(np.array([]), np.array([]), np.empty((0, 3)), 0.01, 0.01) == []
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(ValueError):
+            organize_polylines(np.zeros(1), np.zeros(1), np.zeros((1, 3)), 0.0, 0.01)
+
+    def test_single_ring_becomes_one_line(self):
+        theta, phi, xyz = _ring(50, phi=1.6)
+        lines = organize_polylines(theta, phi, xyz, u_theta=0.01, u_phi=0.005)
+        assert len(lines) == 1
+        assert len(lines[0]) == 50
+
+    def test_line_ordered_left_to_right(self):
+        theta, phi, xyz = _ring(30, phi=1.6)
+        # Shuffle the input; the polyline must still come out theta-sorted.
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(30)
+        lines = organize_polylines(theta[perm], phi[perm], xyz[perm], 0.01, 0.005)
+        assert len(lines) == 1
+        assert np.all(np.diff(theta[perm][lines[0]]) > 0)
+
+    def test_two_rings_two_lines(self):
+        t1, p1, x1 = _ring(40, phi=1.55)
+        t2, p2, x2 = _ring(40, phi=1.65)
+        theta = np.concatenate([t1, t2])
+        phi = np.concatenate([p1, p2])
+        xyz = np.vstack([x1, x2])
+        lines = organize_polylines(theta, phi, xyz, u_theta=0.01, u_phi=0.01)
+        assert len(lines) == 2
+        assert sorted(len(l) for l in lines) == [40, 40]
+
+    def test_gap_splits_line(self):
+        # A gap wider than 2*u_theta must break the polyline.
+        t1, p1, x1 = _ring(20, phi=1.6, theta0=0.0)
+        t2, p2, x2 = _ring(20, phi=1.6, theta0=0.2 + 0.05)  # gap of 5 steps
+        theta = np.concatenate([t1, t2])
+        phi = np.concatenate([p1, p2])
+        xyz = np.vstack([x1, x2])
+        lines = organize_polylines(theta, phi, xyz, u_theta=0.01, u_phi=0.005)
+        assert len(lines) == 2
+
+    def test_isolated_points_become_singletons(self):
+        theta = np.array([0.0, 1.0, 2.0])
+        phi = np.array([1.5, 1.6, 1.7])
+        tpr = np.column_stack([theta, phi, np.full(3, 10.0)])
+        lines = organize_polylines(
+            theta, phi, spherical_to_cartesian(tpr), 0.01, 0.005
+        )
+        assert len(lines) == 3
+        assert all(len(l) == 1 for l in lines)
+
+    def test_every_point_in_exactly_one_line(self):
+        rng = np.random.default_rng(1)
+        theta = rng.uniform(0, 2 * np.pi, 500)
+        phi = rng.uniform(1.5, 2.0, 500)
+        tpr = np.column_stack([theta, phi, rng.uniform(5, 50, 500)])
+        xyz = spherical_to_cartesian(tpr)
+        lines = organize_polylines(theta, phi, xyz, 0.02, 0.01)
+        seen = np.concatenate(lines)
+        assert sorted(seen.tolist()) == list(range(500))
+
+    def test_phi_window_fixed_by_seed(self):
+        """The polar window follows the seed, not the walker (Algorithm 1)."""
+        # A slowly drifting line: each step raises phi by 0.4*u_phi; after 3
+        # steps the drift exceeds u_phi from the seed and the line must stop.
+        u_phi = 0.01
+        phi = 1.6 + np.arange(10) * 0.4 * u_phi
+        theta = np.arange(10) * 0.01
+        tpr = np.column_stack([theta, phi, np.full(10, 10.0)])
+        lines = organize_polylines(
+            theta, phi, spherical_to_cartesian(tpr), 0.01, u_phi
+        )
+        lengths = sorted(len(l) for l in lines)
+        assert max(lengths) <= 4  # seed + points within +-u_phi of it
+
+    def test_nearest_neighbor_preferred(self):
+        # Two candidates in the window; the 3D-closer one must be chosen.
+        theta = np.array([0.0, 0.015, 0.018])
+        phi = np.array([1.60, 1.601, 1.609])
+        r = np.array([10.0, 10.0, 10.0])
+        xyz = spherical_to_cartesian(np.column_stack([theta, phi, r]))
+        lines = organize_polylines(theta, phi, xyz, u_theta=0.01, u_phi=0.01)
+        main = max(lines, key=len)
+        assert main.tolist()[:2] == [0, 1]
+
+    def test_realistic_frame_mostly_lines(self):
+        from repro.datasets import generate_frame
+        from repro.geometry.spherical import cartesian_to_spherical
+        from repro.datasets.sensors import SensorModel
+
+        pc = generate_frame("kitti-campus", 0)
+        sensor = SensorModel.benchmark_default()
+        sub = pc.xyz[::3]
+        tpr = cartesian_to_spherical(sub)
+        lines = organize_polylines(
+            tpr[:, 0], tpr[:, 1], sub, 3 * sensor.u_theta, sensor.u_phi
+        )
+        on_lines = sum(len(l) for l in lines if len(l) >= 2)
+        assert on_lines / len(sub) > 0.7

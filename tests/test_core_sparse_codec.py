@@ -1,0 +1,138 @@
+"""Tests for the sparse coordinate codec (Steps 1-9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import DBGCParams
+from repro.core.sparse_codec import decode_sparse_group, encode_sparse_group
+from repro.geometry.spherical import spherical_to_cartesian
+
+U_THETA = 0.012
+U_PHI = 0.0075
+
+
+def _rings_cloud(n_rings=8, n_per_ring=60, r=15.0, seed=0):
+    """A scan-like patch: n_rings rings of n_per_ring samples with noise."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for i in range(n_rings):
+        phi = 1.6 + i * U_PHI + rng.normal(0, 0.05 * U_PHI, n_per_ring)
+        theta = np.arange(n_per_ring) * U_THETA + rng.normal(
+            0, 0.05 * U_THETA, n_per_ring
+        )
+        radius = r + rng.normal(0, 0.01, n_per_ring)
+        rows.append(np.column_stack([theta, phi, radius]))
+    tpr = np.vstack(rows)
+    return spherical_to_cartesian(tpr)
+
+
+class TestRoundtrip:
+    def test_empty_group(self):
+        params = DBGCParams()
+        enc = encode_sparse_group(np.empty((0, 3)), params, U_THETA, U_PHI)
+        assert decode_sparse_group(enc.payload, params, U_THETA, U_PHI).shape == (0, 3)
+
+    def test_all_outliers_group(self):
+        params = DBGCParams()
+        xyz = np.array([[10.0, 0, 0], [0, 20.0, 0], [0, 0, 30.0]])
+        enc = encode_sparse_group(xyz, params, U_THETA, U_PHI)
+        assert len(enc.outlier_indices) == 3
+        assert decode_sparse_group(enc.payload, params, U_THETA, U_PHI).shape == (0, 3)
+
+    def test_scan_patch_error_bound(self):
+        params = DBGCParams(q_xyz=0.02)
+        xyz = _rings_cloud()
+        enc = encode_sparse_group(xyz, params, U_THETA, U_PHI)
+        decoded = decode_sparse_group(enc.payload, params, U_THETA, U_PHI)
+        coded = xyz[enc.order]
+        assert decoded.shape == coded.shape
+        err = np.linalg.norm(decoded - coded, axis=1)
+        assert err.max() <= np.sqrt(3) * params.q_xyz * (1 + 1e-6)
+
+    def test_strict_mode_meets_per_dim_bound(self):
+        params = DBGCParams(q_xyz=0.02, strict_cartesian=True)
+        xyz = _rings_cloud()
+        enc = encode_sparse_group(xyz, params, U_THETA, U_PHI)
+        decoded = decode_sparse_group(enc.payload, params, U_THETA, U_PHI)
+        err = np.abs(decoded - xyz[enc.order])
+        assert err.max() <= params.q_xyz * (1 + 1e-6)
+
+    def test_order_covers_non_outliers(self):
+        params = DBGCParams()
+        xyz = _rings_cloud(n_rings=3, n_per_ring=20)
+        enc = encode_sparse_group(xyz, params, U_THETA, U_PHI)
+        combined = sorted(enc.order.tolist() + enc.outlier_indices.tolist())
+        assert combined == list(range(len(xyz)))
+
+    def test_compresses_scan_patch_well(self):
+        params = DBGCParams(q_xyz=0.02)
+        xyz = _rings_cloud(n_rings=16, n_per_ring=120)
+        enc = encode_sparse_group(xyz, params, U_THETA, U_PHI)
+        raw = len(enc.order) * 12
+        assert len(enc.payload) < raw / 4  # > 4x on clean scan structure
+
+    def test_stream_sizes_reported(self):
+        params = DBGCParams()
+        enc = encode_sparse_group(_rings_cloud(), params, U_THETA, U_PHI)
+        for key in ("lengths", "d1_heads", "d1_tails", "d2_heads", "d2_tails", "d3"):
+            assert key in enc.stream_sizes
+        assert sum(enc.stream_sizes.values()) <= len(enc.payload)
+
+    def test_timings_reported(self):
+        enc = encode_sparse_group(_rings_cloud(), DBGCParams(), U_THETA, U_PHI)
+        assert set(enc.timings) == {"cor", "org", "spa"}
+
+
+class TestAblationModes:
+    def test_no_radial_reference_roundtrip(self):
+        params = DBGCParams(radial_reference=False)
+        xyz = _rings_cloud()
+        enc = encode_sparse_group(xyz, params, U_THETA, U_PHI)
+        decoded = decode_sparse_group(enc.payload, params, U_THETA, U_PHI)
+        err = np.linalg.norm(decoded - xyz[enc.order], axis=1)
+        assert err.max() <= np.sqrt(3) * params.q_xyz * (1 + 1e-6)
+
+    def test_cartesian_mode_roundtrip(self):
+        params = DBGCParams(spherical_conversion=False)
+        xyz = _rings_cloud()
+        enc = encode_sparse_group(xyz, params, U_THETA, U_PHI)
+        decoded = decode_sparse_group(enc.payload, params, U_THETA, U_PHI)
+        err = np.abs(decoded - xyz[enc.order])
+        assert err.max() <= params.q_xyz * (1 + 1e-9)
+
+    def test_spherical_beats_cartesian(self):
+        """Figure 11's -Conversion: spherical streams are much smaller."""
+        xyz = _rings_cloud(n_rings=16, n_per_ring=120)
+        sph = encode_sparse_group(xyz, DBGCParams(), U_THETA, U_PHI)
+        cart = encode_sparse_group(
+            xyz, DBGCParams(spherical_conversion=False), U_THETA, U_PHI
+        )
+        assert len(sph.payload) < len(cart.payload)
+
+    def test_radial_reference_helps_on_edges(self):
+        """Figure 11's -Radial: aligned radial jumps favor the reference."""
+        rng = np.random.default_rng(3)
+        rows = []
+        for i in range(12):
+            phi = 1.6 + i * U_PHI
+            theta = np.arange(100) * U_THETA
+            radius = np.where(theta < 50 * U_THETA, 10.0, 40.0) + rng.normal(
+                0, 0.01, 100
+            )
+            rows.append(np.column_stack([theta, np.full(100, phi), radius]))
+        xyz = spherical_to_cartesian(np.vstack(rows))
+        with_ref = encode_sparse_group(xyz, DBGCParams(), U_THETA, U_PHI)
+        without = encode_sparse_group(
+            xyz, DBGCParams(radial_reference=False), U_THETA, U_PHI
+        )
+        assert with_ref.stream_sizes["d3"] <= without.stream_sizes["d3"]
+
+
+class TestCorruption:
+    def test_length_mismatch_detected(self):
+        params = DBGCParams()
+        enc = encode_sparse_group(_rings_cloud(3, 20), params, U_THETA, U_PHI)
+        corrupted = bytearray(enc.payload)
+        corrupted[0] ^= 0x01  # flip the point count
+        with pytest.raises((ValueError, IndexError, StopIteration)):
+            decode_sparse_group(bytes(corrupted), params, U_THETA, U_PHI)

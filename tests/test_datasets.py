@@ -1,0 +1,161 @@
+"""Tests for the sensor model, scenes, simulator, and dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SCENE_BUILDERS,
+    SensorModel,
+    generate_frame,
+    generate_frames,
+    simulate_frame,
+)
+from repro.datasets.scenes import Scene, city_scene
+from repro.geometry.spherical import cartesian_to_spherical
+
+
+class TestSensorModel:
+    def test_hdl64e_defaults(self):
+        s = SensorModel.velodyne_hdl64e()
+        assert s.n_beams == 64
+        assert s.frames_per_second == 10.0
+        # Section 4.4: ~100K points -> ~9.6 Mbit/frame, 96 Mbit/s raw.
+        assert s.raw_frame_bits() / 1e6 > 9.0
+        assert s.raw_frame_bits() * s.frames_per_second / 1e6 > 90.0
+
+    def test_phi_angles_span_fov(self):
+        s = SensorModel.velodyne_hdl64e()
+        lo, hi = s.phi_range
+        assert lo == pytest.approx(np.deg2rad(88.0))
+        assert hi == pytest.approx(np.deg2rad(114.8))
+        assert len(s.phi_angles) == 64
+
+    def test_angular_steps(self):
+        s = SensorModel.velodyne_hdl64e()
+        assert s.u_theta == pytest.approx(2 * np.pi / s.azimuth_steps)
+        assert s.u_phi == pytest.approx((s.phi_range[1] - s.phi_range[0]) / 63)
+
+    def test_scaled_preserves_aspect_ratio(self):
+        s = SensorModel.velodyne_hdl64e().scaled(0.5)
+        assert s.n_beams == 32
+        assert s.azimuth_steps == round(2083 * 0.5)
+        # The angular aspect ratio drives polyline extension; it must hold.
+        full = SensorModel.velodyne_hdl64e()
+        assert s.u_theta / s.u_phi == pytest.approx(
+            full.u_theta / full.u_phi, rel=0.1
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SensorModel(n_beams=0)
+        with pytest.raises(ValueError):
+            SensorModel(dropout=1.0)
+        with pytest.raises(ValueError):
+            SensorModel(elevation_min_deg=5.0, elevation_max_deg=2.0)
+        with pytest.raises(ValueError):
+            SensorModel(r_min=0.0)
+
+
+class TestScenes:
+    @pytest.mark.parametrize("name", sorted(SCENE_BUILDERS))
+    def test_builders_produce_objects(self, name):
+        scene = SCENE_BUILDERS[name](seed=0)
+        assert scene.n_objects > 5
+        assert scene.boxes.shape[1] == 6
+        assert scene.cylinders.shape[1] == 5
+
+    @pytest.mark.parametrize("name", sorted(SCENE_BUILDERS))
+    def test_sensor_not_inside_any_box(self, name):
+        scene = SCENE_BUILDERS[name](seed=0)
+        for box in scene.boxes:
+            inside = box[0] <= 0 <= box[3] and box[1] <= 0 <= box[4]
+            assert not inside, f"box {box} covers the sensor origin"
+
+    def test_seed_controls_geometry(self):
+        a, b = city_scene(seed=1), city_scene(seed=2)
+        assert not np.array_equal(a.boxes, b.boxes)
+        assert np.array_equal(city_scene(seed=1).boxes, a.boxes)
+
+
+class TestSimulator:
+    def test_deterministic_given_seed(self):
+        scene = city_scene(0)
+        sensor = SensorModel.benchmark_default()
+        a = simulate_frame(scene, sensor, seed=7)
+        b = simulate_frame(scene, sensor, seed=7)
+        assert np.array_equal(a.xyz, b.xyz)
+
+    def test_range_respected(self):
+        pc = generate_frame("kitti-city", 0)
+        sensor = SensorModel.benchmark_default()
+        r = pc.radii()
+        # Noise can push a hair past the bounds.
+        assert r.min() >= sensor.r_min - 5 * sensor.range_noise_sigma
+        assert r.max() <= sensor.r_max + 5 * sensor.range_noise_sigma
+
+    def test_ground_plane_visible(self):
+        pc = generate_frame("kitti-road", 0)
+        sensor = SensorModel.benchmark_default()
+        near_ground = np.abs(pc.z + sensor.height) < 0.1
+        assert near_ground.mean() > 0.3  # roads are mostly ground returns
+
+    def test_density_decreases_with_radius(self):
+        """The paper's Figure 3b: density falls sharply over radius."""
+        pc = generate_frame("kitti-city", 0)
+        r = pc.radii()
+        densities = []
+        for radius in (5.0, 10.0, 20.0, 40.0):
+            count = int((r <= radius).sum())
+            densities.append(count / (4 / 3 * np.pi * radius**3))
+        assert densities[0] > densities[1] > densities[2] > densities[3]
+        assert densities[0] > 10 * densities[3]
+
+    def test_spherical_regularity_with_jitter(self):
+        """Calibrated-style cloud: near-regular but not an exact grid."""
+        pc = generate_frame("kitti-campus", 0)
+        sensor = SensorModel.benchmark_default()
+        tpr = cartesian_to_spherical(pc.xyz)
+        phi = np.sort(tpr[:, 1])
+        # Points concentrate near the 64 beam angles...
+        beam_angles = sensor.phi_angles
+        nearest = np.min(np.abs(phi[:, None] - beam_angles[None, :]), axis=1)
+        assert np.median(nearest) < sensor.u_phi
+        # ...but do not sit exactly on them (jitter).
+        assert np.median(nearest) > 0.0
+
+    def test_no_dropout_no_noise_full_grid(self):
+        sensor = SensorModel(
+            azimuth_steps=64, dropout=0.0, range_noise_sigma=0.0, angle_jitter=0.0
+        )
+        scene = Scene("flat")
+        pc = simulate_frame(scene, sensor, seed=0)
+        # Only downward beams hit the ground within range.
+        r = pc.radii()
+        assert len(pc) > 0
+        assert np.all(r <= sensor.r_max)
+        assert np.allclose(pc.z, -sensor.height, atol=1e-9)
+
+    def test_sensor_translation_shifts_scene(self):
+        scene = city_scene(0)
+        sensor = SensorModel(azimuth_steps=128, dropout=0.0, range_noise_sigma=0.0,
+                             angle_jitter=0.0)
+        a = simulate_frame(scene, sensor, seed=0, sensor_xy=(0.0, 0.0))
+        b = simulate_frame(scene, sensor, seed=0, sensor_xy=(50.0, 0.0))
+        assert not np.array_equal(a.xyz, b.xyz)
+
+
+class TestRegistry:
+    def test_unknown_scene_rejected(self):
+        with pytest.raises(KeyError):
+            generate_frame("not-a-scene")
+
+    def test_frames_differ_but_overlap(self):
+        frames = list(generate_frames("kitti-campus", 2))
+        assert len(frames) == 2
+        assert len(frames[0]) > 1000
+        assert not np.array_equal(frames[0].xyz[:100], frames[1].xyz[:100])
+
+    @pytest.mark.parametrize("name", sorted(SCENE_BUILDERS))
+    def test_all_scenes_generate(self, name):
+        pc = generate_frame(name, 0)
+        assert 5000 < len(pc) < 120000

@@ -1,0 +1,87 @@
+"""Tests for point cloud file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    load_kitti_bin,
+    load_npz,
+    load_ply,
+    save_kitti_bin,
+    save_npz,
+    save_ply,
+)
+from repro.geometry import PointCloud
+
+
+@pytest.fixture
+def cloud():
+    rng = np.random.default_rng(0)
+    return PointCloud(rng.normal(size=(123, 3)) * 40.0)
+
+
+class TestKittiBin:
+    def test_roundtrip(self, cloud, tmp_path):
+        path = tmp_path / "frame.bin"
+        save_kitti_bin(cloud, path)
+        loaded, intensity = load_kitti_bin(path)
+        assert len(loaded) == len(cloud)
+        # float32 storage loses some precision
+        assert np.allclose(loaded.xyz, cloud.xyz, atol=1e-4)
+        assert np.all(intensity == 0.0)
+
+    def test_intensity_roundtrip(self, cloud, tmp_path):
+        path = tmp_path / "frame.bin"
+        intensity = np.linspace(0, 1, len(cloud)).astype(np.float32)
+        save_kitti_bin(cloud, path, intensity=intensity)
+        _, loaded = load_kitti_bin(path)
+        assert np.allclose(loaded, intensity)
+
+    def test_intensity_length_checked(self, cloud, tmp_path):
+        with pytest.raises(ValueError):
+            save_kitti_bin(cloud, tmp_path / "x.bin", intensity=np.zeros(3))
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"\x00" * 13)
+        with pytest.raises(ValueError):
+            load_kitti_bin(path)
+
+
+class TestPly:
+    def test_roundtrip(self, cloud, tmp_path):
+        path = tmp_path / "frame.ply"
+        save_ply(cloud, path)
+        loaded = load_ply(path)
+        assert np.allclose(loaded.xyz, cloud.xyz, rtol=1e-6)
+
+    def test_empty_cloud(self, tmp_path):
+        path = tmp_path / "empty.ply"
+        save_ply(PointCloud.empty(), path)
+        assert len(load_ply(path)) == 0
+
+    def test_single_point(self, tmp_path):
+        path = tmp_path / "one.ply"
+        save_ply(PointCloud(np.array([[1.0, 2.0, 3.0]])), path)
+        assert np.allclose(load_ply(path).xyz, [[1.0, 2.0, 3.0]])
+
+    def test_not_ply_rejected(self, tmp_path):
+        path = tmp_path / "bad.ply"
+        path.write_text("obj\n")
+        with pytest.raises(ValueError):
+            load_ply(path)
+
+    def test_binary_ply_rejected(self, tmp_path):
+        path = tmp_path / "bin.ply"
+        path.write_text(
+            "ply\nformat binary_little_endian 1.0\nelement vertex 0\nend_header\n"
+        )
+        with pytest.raises(ValueError):
+            load_ply(path)
+
+
+class TestNpz:
+    def test_roundtrip_lossless(self, cloud, tmp_path):
+        path = tmp_path / "frame.npz"
+        save_npz(cloud, path)
+        assert np.array_equal(load_npz(path).xyz, cloud.xyz)

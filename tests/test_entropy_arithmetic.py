@@ -1,0 +1,135 @@
+"""Unit and property tests for repro.entropy.arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entropy import (
+    AdaptiveModel,
+    arithmetic_decode,
+    arithmetic_encode,
+    decode_int_sequence,
+    encode_int_sequence,
+)
+
+
+class TestAdaptiveModel:
+    def test_initial_uniform(self):
+        model = AdaptiveModel(4)
+        assert model.total == 4
+        assert model.cum_range(0) == (0, 1)
+        assert model.cum_range(3) == (3, 4)
+
+    def test_update_shifts_mass(self):
+        model = AdaptiveModel(4, increment=10)
+        model.update(2)
+        assert model.total == 14
+        assert model.cum_range(2) == (2, 13)
+        assert model.cum_range(3) == (13, 14)
+
+    def test_find_inverts_cum_range(self):
+        model = AdaptiveModel(8, increment=5)
+        rng = np.random.default_rng(0)
+        for s in rng.integers(0, 8, size=100):
+            model.update(int(s))
+        for symbol in range(8):
+            low, high = model.cum_range(symbol)
+            for target in (low, high - 1):
+                found, f_low, f_high = model.find(target)
+                assert found == symbol
+                assert (f_low, f_high) == (low, high)
+
+    def test_rescale_keeps_positive_freqs(self):
+        model = AdaptiveModel(4, increment=100, max_total=512)
+        for _ in range(50):
+            model.update(0)
+        assert model.total <= 512
+        for symbol in range(4):
+            low, high = model.cum_range(symbol)
+            assert high > low  # every symbol stays encodable
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            AdaptiveModel(0)
+        with pytest.raises(ValueError):
+            AdaptiveModel(4, increment=0)
+        with pytest.raises(ValueError):
+            AdaptiveModel(256, max_total=100)
+
+    def test_non_power_of_two_alphabet(self):
+        model = AdaptiveModel(5, increment=3)
+        for s in [0, 4, 4, 2, 3, 1, 4]:
+            model.update(s)
+        total = model.cum_range(4)[1]
+        assert total == model.total
+
+
+class TestArithmeticCodec:
+    def test_empty(self):
+        data = arithmetic_encode(np.array([], dtype=np.int64), 4)
+        assert np.array_equal(arithmetic_decode(data, 0, 4), [])
+
+    def test_roundtrip_skewed(self):
+        rng = np.random.default_rng(42)
+        symbols = rng.choice(8, size=5000, p=[0.7, 0.1, 0.05, 0.05, 0.04, 0.03, 0.02, 0.01])
+        data = arithmetic_encode(symbols, 8)
+        assert np.array_equal(arithmetic_decode(data, len(symbols), 8), symbols)
+
+    def test_compresses_skewed_below_fixed_width(self):
+        rng = np.random.default_rng(1)
+        symbols = rng.choice(4, size=8000, p=[0.94, 0.03, 0.02, 0.01])
+        data = arithmetic_encode(symbols, 4)
+        # Fixed-width would be 2 bits/symbol = 2000 bytes; entropy ~0.4 bits.
+        assert len(data) < 1000
+
+    def test_single_symbol_alphabet(self):
+        symbols = np.zeros(100, dtype=np.int64)
+        data = arithmetic_encode(symbols, 1)
+        assert np.array_equal(arithmetic_decode(data, 100, 1), symbols)
+        assert len(data) <= 2
+
+    def test_out_of_range_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            arithmetic_encode(np.array([4]), 4)
+        with pytest.raises(ValueError):
+            arithmetic_encode(np.array([-1]), 4)
+
+    def test_alternating_worst_case(self):
+        symbols = np.tile([0, 1], 500)
+        data = arithmetic_encode(symbols, 2)
+        assert np.array_equal(arithmetic_decode(data, 1000, 2), symbols)
+
+    @given(
+        st.integers(2, 40),
+        st.lists(st.integers(0, 1000), min_size=0, max_size=400),
+        st.integers(1, 64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, num_symbols, raw, increment):
+        symbols = np.array([v % num_symbols for v in raw], dtype=np.int64)
+        data = arithmetic_encode(symbols, num_symbols, increment=increment)
+        out = arithmetic_decode(data, len(symbols), num_symbols, increment=increment)
+        assert np.array_equal(out, symbols)
+
+
+class TestIntSequenceCodec:
+    def test_empty(self):
+        data = encode_int_sequence(np.array([], dtype=np.int64))
+        assert decode_int_sequence(data).size == 0
+
+    def test_roundtrip_mixed_magnitudes(self):
+        values = np.array([0, -1, 1, 1000000, -70000, 3, 3, 3, 3])
+        assert np.array_equal(decode_int_sequence(encode_int_sequence(values)), values)
+
+    def test_near_zero_deltas_compress_well(self):
+        rng = np.random.default_rng(9)
+        values = rng.integers(-2, 3, size=5000)
+        data = encode_int_sequence(values)
+        assert len(data) < 5000 // 2  # far below one byte per value
+
+    @given(st.lists(st.integers(-(2**40), 2**40), max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, values):
+        arr = np.array(values, dtype=np.int64)
+        assert np.array_equal(decode_int_sequence(encode_int_sequence(arr)), arr)

@@ -1,0 +1,72 @@
+"""Unit and property tests for repro.entropy.deflate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entropy import deflate_compress, deflate_decompress
+
+
+class TestDeflate:
+    def test_empty(self):
+        assert deflate_decompress(deflate_compress(b"")) == b""
+
+    def test_small_input_stored(self):
+        data = b"tiny"
+        compressed = deflate_compress(data)
+        assert compressed[0] == 0  # stored mode
+        assert deflate_decompress(compressed) == data
+
+    def test_repetitive_compresses_hard(self):
+        data = b"0123456789abcdef" * 1000
+        compressed = deflate_compress(data)
+        assert deflate_decompress(compressed) == data
+        assert len(compressed) < len(data) // 10
+
+    def test_incompressible_falls_back_to_stored(self):
+        import random
+
+        rng = random.Random(7)
+        data = bytes(rng.randrange(256) for _ in range(4000))
+        compressed = deflate_compress(data)
+        assert deflate_decompress(compressed) == data
+        # Never blows up beyond input + 1 mode byte.
+        assert len(compressed) <= len(data) + 1
+
+    def test_text_like_stream(self):
+        data = ("theta=1.57 phi=0.78 r=12.3; " * 400).encode()
+        compressed = deflate_compress(data)
+        assert deflate_decompress(compressed) == data
+        assert len(compressed) < len(data) // 3
+
+    def test_rejects_empty_stream(self):
+        with pytest.raises(ValueError):
+            deflate_decompress(b"")
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            deflate_decompress(bytes([9, 1, 2, 3]))
+
+    def test_delta_like_varint_stream(self):
+        """The actual workload: zigzag varints of near-constant deltas."""
+        import numpy as np
+
+        from repro.entropy import encode_varints
+
+        rng = np.random.default_rng(3)
+        deltas = 40 + rng.integers(-1, 2, size=8000)
+        data = encode_varints(deltas)
+        compressed = deflate_compress(data)
+        assert deflate_decompress(compressed) == data
+        assert len(compressed) < len(data) // 2
+
+    @given(st.binary(max_size=4000))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert deflate_decompress(deflate_compress(data)) == data
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(1, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_periodic_roundtrip_property(self, unit, repeats):
+        data = unit * repeats
+        assert deflate_decompress(deflate_compress(data)) == data

@@ -1,0 +1,85 @@
+"""Unit and property tests for repro.entropy.huffman."""
+
+import pytest
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entropy import huffman_compress, huffman_decompress
+from repro.entropy.huffman import build_code_lengths, canonical_codes
+
+
+class TestCodeConstruction:
+    def test_empty_frequencies(self):
+        assert build_code_lengths({}) == {}
+
+    def test_single_symbol_gets_length_one(self):
+        assert build_code_lengths({65: 10}) == {65: 1}
+
+    def test_kraft_inequality(self):
+        lengths = build_code_lengths({0: 50, 1: 30, 2: 15, 3: 5})
+        assert sum(2.0 ** -l for l in lengths.values()) <= 1.0 + 1e-12
+
+    def test_more_frequent_not_longer(self):
+        lengths = build_code_lengths({0: 100, 1: 10, 2: 1})
+        assert lengths[0] <= lengths[1] <= lengths[2]
+
+    def test_canonical_codes_prefix_free(self):
+        lengths = build_code_lengths({i: (i + 1) ** 2 for i in range(10)})
+        codes = canonical_codes(lengths)
+        entries = sorted(codes.values(), key=lambda cl: (cl[1], cl[0]))
+        as_bits = [format(code, f"0{length}b") for code, length in entries]
+        for i, a in enumerate(as_bits):
+            for b in as_bits[i + 1 :]:
+                assert not b.startswith(a)
+
+
+class TestCodec:
+    def test_empty(self):
+        assert huffman_decompress(huffman_compress(b"")) == b""
+
+    def test_single_byte(self):
+        assert huffman_decompress(huffman_compress(b"x")) == b"x"
+
+    def test_uniform_run(self):
+        data = b"a" * 10000
+        compressed = huffman_compress(data)
+        assert huffman_decompress(compressed) == data
+        # One symbol at length 1 -> ~1 bit per byte.
+        assert len(compressed) < 1400
+
+    def test_text_roundtrip(self):
+        data = (b"the quick brown fox jumps over the lazy dog " * 100)
+        compressed = huffman_compress(data)
+        assert huffman_decompress(compressed) == data
+        assert len(compressed) < len(data)
+
+    def test_all_256_symbols(self):
+        data = bytes(range(256)) * 4
+        assert huffman_decompress(huffman_compress(data)) == data
+
+    def test_skewed_beats_uniform_rate(self):
+        skewed = bytes([0] * 900 + [1] * 50 + [2] * 30 + [3] * 20)
+        uniform = bytes([i % 4 for i in range(1000)])
+        assert len(huffman_compress(skewed)) < len(huffman_compress(uniform))
+
+    @given(st.binary(max_size=2000))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert huffman_decompress(huffman_compress(data)) == data
+
+    def test_rate_close_to_entropy(self):
+        import math
+        import random
+
+        rng = random.Random(0)
+        data = bytes(rng.choices(range(8), weights=[64, 32, 16, 8, 4, 2, 1, 1], k=20000))
+        counts = Counter(data)
+        entropy = -sum(
+            (c / len(data)) * math.log2(c / len(data)) for c in counts.values()
+        )
+        compressed = huffman_compress(data)
+        rate = len(compressed) * 8 / len(data)
+        # Huffman is within 1 bit of entropy; header adds a little.
+        assert rate < entropy + 1.1

@@ -1,0 +1,107 @@
+"""Tests for the frame diagnostics in repro.eval.analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import DBGCParams
+from repro.datasets import SensorModel, generate_frame
+from repro.eval.analysis import (
+    classification_summary,
+    density_profile,
+    empirical_entropy,
+    polyline_statistics,
+    stream_entropy_report,
+)
+from repro.geometry import PointCloud
+
+
+@pytest.fixture(scope="module")
+def frame():
+    return generate_frame("kitti-city", 0)
+
+
+class TestEntropy:
+    def test_empty(self):
+        assert empirical_entropy(np.array([])) == 0.0
+
+    def test_constant_sequence(self):
+        assert empirical_entropy(np.zeros(100)) == 0.0
+
+    def test_uniform_binary(self):
+        values = np.tile([0, 1], 500)
+        assert empirical_entropy(values) == pytest.approx(1.0)
+
+    def test_uniform_k_ary(self):
+        values = np.arange(1024) % 8
+        assert empirical_entropy(values) == pytest.approx(3.0)
+
+
+class TestDensityProfile:
+    def test_falls_with_radius(self, frame):
+        profile = density_profile(frame)
+        densities = [row["density"] for row in profile]
+        assert all(a > b for a, b in zip(densities, densities[1:]))
+
+    def test_counts_monotone(self, frame):
+        profile = density_profile(frame, radii=[10.0, 30.0, 90.0])
+        counts = [row["count"] for row in profile]
+        assert counts == sorted(counts)
+        assert counts[-1] <= len(frame)
+
+
+class TestClassification:
+    def test_fractions_sum_to_one(self, frame):
+        summary = classification_summary(frame)
+        total = (
+            summary.dense_fraction
+            + summary.sparse_fraction
+            + summary.outlier_fraction
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_paper_like_split(self, frame):
+        """Section 4.3: roughly 40/60 dense-sparse with ~1% outliers."""
+        summary = classification_summary(frame)
+        assert 0.1 < summary.dense_fraction < 0.6
+        assert summary.outlier_fraction < 0.05
+
+    def test_parameters_reported(self, frame):
+        summary = classification_summary(frame)
+        assert summary.eps == pytest.approx(0.2)
+        assert summary.min_pts >= 2
+
+    def test_empty_cloud(self):
+        summary = classification_summary(PointCloud.empty())
+        assert summary.n_points == 0
+        assert summary.dense_fraction == 0.0
+
+
+class TestPolylineStats:
+    def test_groups_reported(self, frame):
+        stats = polyline_statistics(frame)
+        assert 1 <= len(stats) <= DBGCParams().n_groups
+        for s in stats:
+            assert s.n_lines > 0
+            assert s.mean_length >= 2.0
+            assert s.length_percentiles[10] <= s.length_percentiles[90]
+
+    def test_empty_cloud(self):
+        assert polyline_statistics(PointCloud.empty()) == []
+
+
+class TestEntropyReport:
+    def test_report_structure(self, frame):
+        report = stream_entropy_report(frame)
+        assert len(report) >= 1
+        for row in report:
+            assert row["H_dtheta"] >= 0.0
+            assert row["total_bits_per_point"] > 0.0
+            if row["n_points"] < 2000:
+                continue  # tiny groups are dominated by header amortization
+            # Large groups run within a few bits of the within-line entropy
+            # floor (heads/lengths overhead included in coded bits).
+            floor = row["H_dtheta"] + row["H_dphi"] + row["H_dr"]
+            assert row["total_bits_per_point"] < floor + 6.0
+
+    def test_empty_cloud(self):
+        assert stream_entropy_report(PointCloud.empty()) == []

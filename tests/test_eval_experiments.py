@@ -1,0 +1,62 @@
+"""Tests for the programmatic experiment runners.
+
+These run the real experiments on a reduced sensor so the suite stays
+fast; the benchmark suite runs them at the full benchmark resolution.
+"""
+
+import pytest
+
+from repro.datasets import SensorModel
+from repro.eval.experiments import (
+    EXPERIMENTS,
+    fig3_radius,
+    fig9_ratio,
+    list_experiments,
+    reproduce,
+    table2_outliers,
+)
+
+
+@pytest.fixture(scope="module")
+def small_sensor():
+    return SensorModel.benchmark_default().scaled(0.3)
+
+
+class TestRegistry:
+    def test_list_matches_registry(self):
+        assert list_experiments() == sorted(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            reproduce("fig99")
+
+    def test_reproduce_dispatches(self, small_sensor):
+        result = reproduce("fig3", sensor=small_sensor)
+        assert result.experiment == "fig3"
+        assert "Figure 3" in result.text
+
+
+class TestRunners:
+    def test_fig3_data_shape(self, small_sensor):
+        result = fig3_radius(sensor=small_sensor)
+        assert len(result.data["ratios"]) == len(result.data["radii"])
+        assert result.data["ratios"][0] > result.data["ratios"][-1]
+
+    def test_fig9_has_all_methods(self, small_sensor):
+        result = fig9_ratio(scene="kitti-road", sensor=small_sensor)
+        assert set(result.data["series"]) == {
+            "DBGC",
+            "G-PCC",
+            "Octree",
+            "Octree_i",
+            "Draco(kd)",
+        }
+        for values in result.data["series"].values():
+            assert len(values) == 5
+
+    def test_table2_covers_scenes_and_modes(self, small_sensor):
+        result = table2_outliers(sensor=small_sensor)
+        assert set(result.data["ratios"]) == {"Outlier", "Octree", "None"}
+        for values in result.data["ratios"].values():
+            assert len(values) == 4
+        assert "Table 2" in result.text

@@ -1,0 +1,107 @@
+"""Unit and property tests for repro.geometry.grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import HashGrid
+
+
+def _brute_force_ball(xyz, center, radius):
+    d2 = np.sum((xyz - center) ** 2, axis=1)
+    return set(np.flatnonzero(d2 <= radius * radius).tolist())
+
+
+class TestConstruction:
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ValueError):
+            HashGrid(np.zeros((1, 3)), 0.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            HashGrid(np.zeros((3, 2)), 1.0)
+
+    def test_empty_grid(self):
+        grid = HashGrid(np.empty((0, 3)), 1.0)
+        assert len(grid) == 0
+        assert grid.n_occupied_cells == 0
+        assert len(grid.query_ball(np.zeros(3), 5.0)) == 0
+
+    def test_occupied_cells(self):
+        pts = np.array([[0.1, 0.1, 0.1], [0.2, 0.2, 0.2], [5.0, 5.0, 5.0]])
+        grid = HashGrid(pts, 1.0)
+        assert grid.n_occupied_cells == 2
+        cells = {tuple(c) for c in grid.occupied_cells()}
+        assert cells == {(0, 0, 0), (5, 5, 5)}
+
+    def test_negative_coordinates(self):
+        pts = np.array([[-0.5, -0.5, -0.5], [-1.5, 0.5, 0.5]])
+        grid = HashGrid(pts, 1.0)
+        assert grid.cell_of(0) == (-1, -1, -1)
+        assert grid.cell_of(1) == (-2, 0, 0)
+
+
+class TestQueries:
+    def test_points_in_cell(self):
+        pts = np.array([[0.1, 0.1, 0.1], [0.9, 0.9, 0.9], [1.5, 0.0, 0.0]])
+        grid = HashGrid(pts, 1.0)
+        assert set(grid.points_in_cell((0, 0, 0)).tolist()) == {0, 1}
+        assert set(grid.points_in_cell((1, 0, 0)).tolist()) == {2}
+        assert len(grid.points_in_cell((9, 9, 9))) == 0
+
+    def test_query_ball_matches_brute_force(self):
+        rng = np.random.default_rng(11)
+        pts = rng.uniform(-3, 3, size=(300, 3))
+        grid = HashGrid(pts, 0.7)
+        for center in pts[:20]:
+            expected = _brute_force_ball(pts, center, 0.7)
+            got = set(grid.query_ball(center, 0.7).tolist())
+            assert got == expected
+
+    def test_query_ball_radius_larger_than_cell(self):
+        rng = np.random.default_rng(5)
+        pts = rng.uniform(-2, 2, size=(200, 3))
+        grid = HashGrid(pts, 0.25)
+        center = np.zeros(3)
+        assert set(grid.query_ball(center, 1.3).tolist()) == _brute_force_ball(
+            pts, center, 1.3
+        )
+
+    def test_neighbors_excludes_self(self):
+        pts = np.array([[0.0, 0.0, 0.0], [0.1, 0.0, 0.0]])
+        grid = HashGrid(pts, 1.0)
+        assert grid.neighbors_within(0, 0.5).tolist() == [1]
+        assert grid.count_within(0, 0.5) == 1
+        assert grid.count_within(0, 0.05) == 0
+
+    def test_negative_radius_rejected(self):
+        grid = HashGrid(np.zeros((1, 3)), 1.0)
+        with pytest.raises(ValueError):
+            grid.query_ball(np.zeros(3), -1.0)
+
+    def test_cell_point_counts(self):
+        pts = np.array([[0.1, 0.1, 0.1], [0.2, 0.2, 0.2], [5.0, 5.0, 5.0]])
+        counts = HashGrid(pts, 1.0).cell_point_counts()
+        assert counts == {(0, 0, 0): 2, (5, 5, 5): 1}
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-50, 50, allow_nan=False),
+                st.floats(-50, 50, allow_nan=False),
+                st.floats(-50, 50, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=60,
+        ),
+        st.floats(0.1, 5.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ball_query_property(self, points, radius):
+        pts = np.array(points)
+        grid = HashGrid(pts, cell_size=1.0)
+        center = pts[0]
+        assert set(grid.query_ball(center, radius).tolist()) == _brute_force_ball(
+            pts, center, radius
+        )

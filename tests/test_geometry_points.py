@@ -1,0 +1,111 @@
+"""Unit tests for repro.geometry.points."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import PointCloud
+
+
+def _cloud(n=10, seed=0):
+    rng = np.random.default_rng(seed)
+    return PointCloud(rng.normal(size=(n, 3)) * 10.0)
+
+
+class TestConstruction:
+    def test_from_array(self):
+        pc = PointCloud(np.zeros((5, 3)))
+        assert len(pc) == 5
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros(5))
+
+    def test_empty(self):
+        pc = PointCloud.empty()
+        assert len(pc) == 0
+        assert pc.nbytes_raw() == 0
+
+    def test_from_columns(self):
+        pc = PointCloud.from_columns(np.array([1.0]), np.array([2.0]), np.array([3.0]))
+        assert np.allclose(pc.xyz, [[1.0, 2.0, 3.0]])
+
+    def test_immutable(self):
+        pc = _cloud()
+        with pytest.raises(ValueError):
+            pc.xyz[0, 0] = 99.0
+
+    def test_input_mutation_does_not_leak(self):
+        arr = np.ones((3, 3))
+        pc = PointCloud(arr)
+        arr[0, 0] = 42.0
+        assert pc.xyz[0, 0] == 1.0
+
+
+class TestAccessors:
+    def test_columns(self):
+        pc = PointCloud(np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]))
+        assert np.array_equal(pc.x, [1.0, 4.0])
+        assert np.array_equal(pc.y, [2.0, 5.0])
+        assert np.array_equal(pc.z, [3.0, 6.0])
+
+    def test_iteration_and_indexing(self):
+        pc = _cloud(4)
+        rows = list(pc)
+        assert len(rows) == 4
+        assert np.array_equal(rows[2], pc[2])
+
+    def test_equality(self):
+        a = PointCloud(np.ones((2, 3)))
+        b = PointCloud(np.ones((2, 3)))
+        c = PointCloud(np.zeros((2, 3)))
+        assert a == b
+        assert a != c
+        assert a != "not a cloud"
+
+    def test_repr(self):
+        assert "n=7" in repr(_cloud(7))
+
+
+class TestDerived:
+    def test_nbytes_raw_matches_paper_accounting(self):
+        # Section 4.4: a point is 32 bits x 3 = 12 bytes.
+        assert _cloud(100).nbytes_raw() == 1200
+        assert _cloud(100).nbytes_raw(bits_per_coordinate=64) == 2400
+
+    def test_radii(self):
+        pc = PointCloud(np.array([[3.0, 4.0, 0.0]]))
+        assert np.allclose(pc.radii(), [5.0])
+        assert np.allclose(pc.radii(origin=[3.0, 4.0, 0.0]), [0.0])
+
+    def test_select_mask_and_indices(self):
+        pc = _cloud(6)
+        mask = np.array([True, False, True, False, False, True])
+        assert len(pc.select(mask)) == 3
+        assert np.array_equal(pc.select([0, 2, 5]).xyz, pc.select(mask).xyz)
+
+    def test_concatenate_preserves_order(self):
+        a, b = _cloud(3, seed=1), _cloud(2, seed=2)
+        merged = a.concatenate(b)
+        assert len(merged) == 5
+        assert np.array_equal(merged.xyz[:3], a.xyz)
+        assert np.array_equal(merged.xyz[3:], b.xyz)
+
+    def test_max_abs_error(self):
+        a = PointCloud(np.zeros((2, 3)))
+        b = PointCloud(np.array([[0.0, 0.0, 0.01], [0.0, -0.03, 0.0]]))
+        assert a.max_abs_error(b) == pytest.approx(0.03)
+
+    def test_max_euclidean_error(self):
+        a = PointCloud(np.zeros((1, 3)))
+        b = PointCloud(np.array([[3.0, 4.0, 0.0]]))
+        assert a.max_euclidean_error(b) == pytest.approx(5.0)
+
+    def test_error_requires_same_length(self):
+        with pytest.raises(ValueError):
+            _cloud(3).max_abs_error(_cloud(4))
+
+    def test_error_of_empty_clouds(self):
+        assert PointCloud.empty().max_abs_error(PointCloud.empty()) == 0.0
+        assert PointCloud.empty().max_euclidean_error(PointCloud.empty()) == 0.0

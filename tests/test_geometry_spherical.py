@@ -1,0 +1,112 @@
+"""Unit and property tests for repro.geometry.spherical."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.spherical import (
+    cartesian_to_spherical,
+    spherical_error_bounds,
+    spherical_to_cartesian,
+)
+
+
+class TestConversion:
+    def test_axes(self):
+        xyz = np.array(
+            [
+                [1.0, 0.0, 0.0],  # +x: theta=0, phi=pi/2
+                [0.0, 1.0, 0.0],  # +y: theta=pi/2, phi=pi/2
+                [0.0, 0.0, 1.0],  # +z: phi=0
+                [0.0, 0.0, -1.0],  # -z: phi=pi
+            ]
+        )
+        tpr = cartesian_to_spherical(xyz)
+        assert tpr[0] == pytest.approx([0.0, np.pi / 2, 1.0])
+        assert tpr[1] == pytest.approx([np.pi / 2, np.pi / 2, 1.0])
+        assert tpr[2] == pytest.approx([0.0, 0.0, 1.0])
+        assert tpr[3, 1] == pytest.approx(np.pi)
+
+    def test_theta_range_is_0_to_2pi(self):
+        xyz = np.array([[1.0, -1.0, 0.0], [-1.0, -1.0, 0.0]])
+        tpr = cartesian_to_spherical(xyz)
+        assert np.all(tpr[:, 0] >= 0.0)
+        assert np.all(tpr[:, 0] < 2 * np.pi)
+        assert tpr[0, 0] == pytest.approx(7 * np.pi / 4)
+
+    def test_origin_point(self):
+        tpr = cartesian_to_spherical(np.zeros((1, 3)))
+        assert np.allclose(tpr, 0.0)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        xyz = rng.normal(size=(500, 3)) * 30.0
+        back = spherical_to_cartesian(cartesian_to_spherical(xyz))
+        assert np.allclose(back, xyz, atol=1e-9)
+
+    def test_roundtrip_with_origin(self):
+        rng = np.random.default_rng(1)
+        xyz = rng.normal(size=(100, 3))
+        origin = np.array([5.0, -2.0, 1.5])
+        tpr = cartesian_to_spherical(xyz, origin=origin)
+        back = spherical_to_cartesian(tpr, origin=origin)
+        assert np.allclose(back, xyz, atol=1e-9)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-100, 100, allow_nan=False),
+                st.floats(-100, 100, allow_nan=False),
+                st.floats(-100, 100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, points):
+        xyz = np.array(points, dtype=np.float64)
+        back = spherical_to_cartesian(cartesian_to_spherical(xyz))
+        # arccos loses a few ULPs near the poles; 1e-6 m is far below any
+        # error bound the codecs use.
+        assert np.allclose(back, xyz, atol=1e-6)
+
+
+class TestErrorBounds:
+    def test_paper_step1_choice(self):
+        q_theta, q_phi, q_r = spherical_error_bounds(0.02, r_max=80.0)
+        assert q_theta == pytest.approx(0.02 / 80.0)
+        assert q_phi == pytest.approx(0.02 / 80.0)
+        assert q_r == pytest.approx(0.02)
+
+    def test_strict_mode_tightens_by_sqrt3(self):
+        loose = spherical_error_bounds(0.02, 80.0)
+        strict = spherical_error_bounds(0.02, 80.0, strict_cartesian=True)
+        for l, s in zip(loose, strict):
+            assert s == pytest.approx(l / np.sqrt(3.0))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            spherical_error_bounds(0.0, 80.0)
+        with pytest.raises(ValueError):
+            spherical_error_bounds(0.02, 0.0)
+
+    def test_lemma_euclidean_error_bound(self):
+        """Lemma 3.2: spherical quantization error <= sqrt(3)*q Euclidean.
+
+        Perturb each spherical dimension by its full bound and verify the
+        Cartesian displacement stays below sqrt(3) * q_xyz (with a small
+        numerical cushion).
+        """
+        rng = np.random.default_rng(7)
+        q = 0.02
+        xyz = rng.normal(size=(2000, 3)) * 25.0
+        tpr = cartesian_to_spherical(xyz)
+        r_max = tpr[:, 2].max()
+        q_theta, q_phi, q_r = spherical_error_bounds(q, r_max)
+        signs = rng.choice([-1.0, 1.0], size=(2000, 3))
+        perturbed = tpr + signs * np.array([q_theta, q_phi, q_r])
+        moved = spherical_to_cartesian(perturbed)
+        err = np.linalg.norm(moved - xyz, axis=1)
+        assert err.max() <= np.sqrt(3.0) * q * (1.0 + 1e-6)

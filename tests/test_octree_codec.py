@@ -1,0 +1,134 @@
+"""Unit and property tests for the octree structure and codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octree import OctreeCodec, build_octree_structure
+from repro.octree.octree import expand_occupancy_level
+
+
+def _random_cloud(n, scale=20.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-scale, scale, size=(n, 3))
+
+
+class TestStructure:
+    def test_single_point(self):
+        s = build_octree_structure(np.array([0]), depth=0)
+        assert s.n_points == 1
+        assert s.n_leaves == 1
+        assert s.occupancy_stream().size == 0
+
+    def test_empty(self):
+        s = build_octree_structure(np.array([], dtype=np.int64), depth=3)
+        assert s.n_points == 0
+        assert s.occupancy_stream().size == 0
+
+    def test_two_points_one_level(self):
+        # Cells 0 and 7 of a depth-1 tree -> root occupancy 0b10000001.
+        s = build_octree_structure(np.array([0, 7]), depth=1)
+        assert s.occupancy_stream().tolist() == [0b10000001]
+        assert s.leaf_codes.tolist() == [0, 7]
+
+    def test_duplicate_points_counted(self):
+        s = build_octree_structure(np.array([3, 3, 3, 5]), depth=1)
+        assert s.leaf_counts.tolist() == [3, 1]
+        assert s.n_points == 4
+
+    def test_code_out_of_depth_rejected(self):
+        with pytest.raises(ValueError):
+            build_octree_structure(np.array([8]), depth=1)
+
+    def test_expand_inverts_build(self):
+        rng = np.random.default_rng(2)
+        codes = np.unique(rng.integers(0, 8**3, size=50))
+        s = build_octree_structure(codes, depth=3)
+        nodes = np.zeros(1, dtype=np.int64)
+        for level in range(3):
+            nodes = expand_occupancy_level(nodes, s.occupancy[level])
+        assert np.array_equal(nodes, codes)
+
+    def test_expand_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            expand_occupancy_level(np.array([0, 1]), np.array([1], dtype=np.uint8))
+
+
+class TestOctreeCodec:
+    def test_rejects_bad_leaf(self):
+        with pytest.raises(ValueError):
+            OctreeCodec(0.0)
+
+    def test_empty_cloud(self):
+        codec = OctreeCodec(0.04)
+        data = codec.encode(np.empty((0, 3)))
+        assert codec.decode(data).shape == (0, 3)
+        assert codec.mapping(np.empty((0, 3))).size == 0
+
+    def test_single_point_error_bound(self):
+        codec = OctreeCodec(0.04)
+        xyz = np.array([[1.234, -5.678, 9.1011]])
+        out = codec.decode(codec.encode(xyz))
+        assert np.max(np.abs(out - xyz)) <= 0.02 + 1e-12
+
+    def test_roundtrip_count_and_error_bound(self):
+        q = 0.02
+        codec = OctreeCodec(2 * q)
+        xyz = _random_cloud(2000)
+        decoded = codec.decode(codec.encode(xyz))
+        assert decoded.shape == xyz.shape
+        mapping = codec.mapping(xyz)
+        err = np.abs(decoded[mapping] - xyz)
+        assert err.max() <= q + 1e-9
+
+    def test_mapping_is_permutation(self):
+        codec = OctreeCodec(0.04)
+        xyz = _random_cloud(500, seed=3)
+        mapping = codec.mapping(xyz)
+        assert sorted(mapping.tolist()) == list(range(500))
+
+    def test_duplicate_points_preserved(self):
+        codec = OctreeCodec(0.04)
+        xyz = np.repeat(_random_cloud(10, seed=4), 5, axis=0)
+        decoded = codec.decode(codec.encode(xyz))
+        assert decoded.shape == (50, 3)
+
+    def test_compresses_dense_clouds_well(self):
+        # Dense object-like cloud: ratio should be high (paper Fig. 3 left end).
+        rng = np.random.default_rng(5)
+        xyz = rng.uniform(0, 1.0, size=(5000, 3))  # ~5k points in 1 m^3
+        codec = OctreeCodec(0.04)
+        data = codec.encode(xyz)
+        ratio = (5000 * 12) / len(data)
+        assert ratio > 15
+
+    def test_sparse_cloud_ratio_degrades(self):
+        # The paper's motivating observation: sparsity hurts the octree.
+        rng = np.random.default_rng(6)
+        dense = rng.uniform(0, 1.0, size=(3000, 3))
+        sparse = rng.uniform(0, 40.0, size=(3000, 3))
+        codec = OctreeCodec(0.04)
+        ratio_dense = 3000 * 12 / len(codec.encode(dense))
+        ratio_sparse = 3000 * 12 / len(codec.encode(sparse))
+        assert ratio_dense > 2 * ratio_sparse
+
+    def test_collinear_degenerate_cloud(self):
+        xyz = np.column_stack([np.linspace(0, 10, 200), np.zeros(200), np.zeros(200)])
+        codec = OctreeCodec(0.04)
+        decoded = codec.decode(codec.encode(xyz))
+        mapping = codec.mapping(xyz)
+        assert np.max(np.abs(decoded[mapping] - xyz)) <= 0.02 + 1e-9
+
+    @given(st.integers(0, 300), st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        xyz = rng.uniform(-15, 15, size=(n, 3))
+        q = 0.05
+        codec = OctreeCodec(2 * q)
+        decoded = codec.decode(codec.encode(xyz))
+        assert decoded.shape == xyz.shape
+        if n:
+            mapping = codec.mapping(xyz)
+            assert np.max(np.abs(decoded[mapping] - xyz)) <= q + 1e-9

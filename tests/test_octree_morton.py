@@ -1,0 +1,87 @@
+"""Unit and property tests for repro.octree.morton."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octree import deinterleave2, deinterleave3, interleave2, interleave3
+
+
+class TestMorton3D:
+    def test_unit_axes(self):
+        # bit 0 -> x, bit 1 -> y, bit 2 -> z at every level
+        assert interleave3(np.array([1]), np.array([0]), np.array([0]))[0] == 1
+        assert interleave3(np.array([0]), np.array([1]), np.array([0]))[0] == 2
+        assert interleave3(np.array([0]), np.array([0]), np.array([1]))[0] == 4
+        assert interleave3(np.array([2]), np.array([0]), np.array([0]))[0] == 8
+
+    def test_parent_is_shift(self):
+        ix, iy, iz = np.array([5]), np.array([3]), np.array([7])
+        code = interleave3(ix, iy, iz)
+        parent = interleave3(ix >> 1, iy >> 1, iz >> 1)
+        assert (code >> 3)[0] == parent[0]
+
+    def test_roundtrip_max_range(self):
+        v = np.array([(1 << 20) - 1])
+        code = interleave3(v, v, v)
+        x, y, z = deinterleave3(code)
+        assert (x[0], y[0], z[0]) == (v[0], v[0], v[0])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            interleave3(np.array([1 << 20]), np.array([0]), np.array([0]))
+        with pytest.raises(ValueError):
+            interleave3(np.array([-1]), np.array([0]), np.array([0]))
+
+    def test_sorted_by_cell_order(self):
+        # Morton order of siblings equals child-index order.
+        ix = np.array([0, 1, 0, 1, 0, 1, 0, 1])
+        iy = np.array([0, 0, 1, 1, 0, 0, 1, 1])
+        iz = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        codes = interleave3(ix, iy, iz)
+        assert codes.tolist() == list(range(8))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, (1 << 20) - 1),
+                st.integers(0, (1 << 20) - 1),
+                st.integers(0, (1 << 20) - 1),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, cells):
+        ix, iy, iz = (np.array(c) for c in zip(*cells))
+        x, y, z = deinterleave3(interleave3(ix, iy, iz))
+        assert np.array_equal(x, ix)
+        assert np.array_equal(y, iy)
+        assert np.array_equal(z, iz)
+
+
+class TestMorton2D:
+    def test_unit_axes(self):
+        assert interleave2(np.array([1]), np.array([0]))[0] == 1
+        assert interleave2(np.array([0]), np.array([1]))[0] == 2
+        assert interleave2(np.array([2]), np.array([0]))[0] == 4
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            interleave2(np.array([1 << 31]), np.array([0]))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, (1 << 31) - 1), st.integers(0, (1 << 31) - 1)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, cells):
+        ix, iy = (np.array(c) for c in zip(*cells))
+        x, y = deinterleave2(interleave2(ix, iy))
+        assert np.array_equal(x, ix)
+        assert np.array_equal(y, iy)

@@ -1,0 +1,73 @@
+"""Property-based end-to-end tests of the DBGC pipeline.
+
+Hypothesis drives the full compressor/decompressor with arbitrary small
+clouds and parameter combinations; the invariants are the problem
+statement's three conditions (Section 2.1): a bit sequence is produced,
+the mapping is one-to-one, and every point's error respects the bound.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DBGCCompressor, DBGCDecompressor, DBGCParams
+from repro.geometry import PointCloud
+
+_coord = st.floats(-60.0, 60.0, allow_nan=False, allow_infinity=False)
+_points = st.lists(st.tuples(_coord, _coord, _coord), min_size=0, max_size=120)
+
+
+@given(
+    points=_points,
+    q_index=st.integers(0, 2),
+    n_groups=st.integers(1, 4),
+    strict=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_problem_statement_invariants(points, q_index, n_groups, strict):
+    q_xyz = [0.005, 0.02, 0.1][q_index]
+    params = DBGCParams(q_xyz=q_xyz, n_groups=n_groups, strict_cartesian=strict)
+    cloud = PointCloud(np.array(points, dtype=np.float64).reshape(-1, 3))
+    result = DBGCCompressor(params).compress_detailed(cloud)
+    # (1) a bit sequence B is produced and decodes...
+    decoded = DBGCDecompressor().decompress(result.payload)
+    assert len(decoded) == len(cloud)
+    if len(cloud) == 0:
+        return
+    # (2) the mapping is one-to-one...
+    assert sorted(result.mapping.tolist()) == list(range(len(cloud)))
+    # (3) ...and every point meets the error bound.
+    diff = decoded.xyz[result.mapping] - cloud.xyz
+    if strict:
+        assert np.abs(diff).max() <= q_xyz * (1 + 1e-6)
+    else:
+        assert np.linalg.norm(diff, axis=1).max() <= np.sqrt(3) * q_xyz * (1 + 1e-6)
+
+
+@given(points=_points, seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_compression_is_deterministic(points, seed):
+    """Same input, same parameters -> byte-identical stream."""
+    cloud = PointCloud(np.array(points, dtype=np.float64).reshape(-1, 3))
+    params = DBGCParams(q_xyz=0.02)
+    a = DBGCCompressor(params).compress(cloud)
+    b = DBGCCompressor(params).compress(cloud)
+    assert a == b
+
+
+@given(points=st.lists(st.tuples(_coord, _coord, _coord), min_size=1, max_size=60))
+@settings(max_examples=25, deadline=None)
+def test_double_roundtrip_is_stable(points):
+    """Re-compressing a decompressed cloud stays within the same bound.
+
+    (Idempotence up to quantization: the second pass may re-snap points but
+    the error against the *first* decode stays bounded.)
+    """
+    params = DBGCParams(q_xyz=0.02)
+    cloud = PointCloud(np.array(points, dtype=np.float64).reshape(-1, 3))
+    first_result = DBGCCompressor(params).compress_detailed(cloud)
+    first = DBGCDecompressor().decompress(first_result.payload)
+    second_result = DBGCCompressor(params).compress_detailed(first)
+    second = DBGCDecompressor().decompress(second_result.payload)
+    diff = second.xyz[second_result.mapping] - first.xyz
+    assert np.linalg.norm(diff, axis=1).max() <= np.sqrt(3) * 0.02 * (1 + 1e-6)

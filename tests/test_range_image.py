@@ -1,0 +1,68 @@
+"""Tests for the range-image (image-based) baseline."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.baselines import RangeImageCompressor
+from repro.datasets import SensorModel, generate_frame, simulate_frame
+from repro.datasets.scenes import city_scene
+from repro.geometry import PointCloud
+
+
+@pytest.fixture(scope="module")
+def raw_sensor():
+    """A sensor whose output sits exactly on the angular grid."""
+    return replace(
+        SensorModel.benchmark_default(), beam_jitter=0.0, angle_jitter=0.0
+    )
+
+
+@pytest.fixture(scope="module")
+def raw_frame(raw_sensor):
+    return simulate_frame(city_scene(0), raw_sensor, seed=0)
+
+
+@pytest.fixture(scope="module")
+def calibrated_frame():
+    return generate_frame("kitti-city", 0)
+
+
+class TestRangeImage:
+    def test_empty(self):
+        codec = RangeImageCompressor(0.02)
+        assert len(codec.decompress(codec.compress(PointCloud.empty()))) == 0
+
+    def test_count_preserved_with_collisions(self, calibrated_frame):
+        codec = RangeImageCompressor(0.02)
+        decoded = codec.decompress(codec.compress(calibrated_frame))
+        assert len(decoded) == len(calibrated_frame)
+
+    def test_mapping_is_permutation(self, calibrated_frame):
+        codec = RangeImageCompressor(0.02)
+        mapping = codec.mapping(calibrated_frame)
+        assert sorted(mapping.tolist()) == list(range(len(calibrated_frame)))
+
+    def test_raw_grid_meets_bound_and_compresses_hard(self, raw_sensor, raw_frame):
+        codec = RangeImageCompressor(0.02, sensor=raw_sensor)
+        payload = codec.compress(raw_frame)
+        decoded = codec.decompress(payload)
+        err = np.linalg.norm(
+            decoded.xyz[codec.mapping(raw_frame)] - raw_frame.xyz, axis=1
+        ).max()
+        # On raw output the radial bound is the only error source.
+        assert err <= np.sqrt(3) * 0.02 * (1 + 1e-6)
+        assert raw_frame.nbytes_raw() / len(payload) > 15
+
+    def test_calibrated_cloud_blows_the_bound(self, calibrated_frame):
+        """The paper's critique: image methods lose accuracy off-grid."""
+        codec = RangeImageCompressor(0.02)
+        err = codec.tangential_error(calibrated_frame)
+        assert err > 5 * 0.02  # error governed by grid pitch, not q
+
+    def test_duplicate_points_kept_as_extras(self):
+        codec = RangeImageCompressor(0.02)
+        cloud = PointCloud(np.repeat([[10.0, 5.0, -1.0]], 4, axis=0))
+        decoded = codec.decompress(codec.compress(cloud))
+        assert len(decoded) == 4

@@ -1,0 +1,142 @@
+"""Failure injection: corrupt, truncated, and adversarial streams.
+
+A decoder facing a damaged stream must raise a clean Python exception
+(ValueError / struct.error / StopIteration wrapped variants) — never hang,
+never return silently wrong geometry without complaint, never crash the
+interpreter.  These tests flip bits, truncate, and shuffle real payloads.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GpccCompressor,
+    KdTreeCompressor,
+    OctreeCompressor,
+    OctreeICompressor,
+)
+from repro.core import DBGCCompressor, DBGCDecompressor, DBGCParams
+from repro.datasets import generate_frame
+from repro.geometry import PointCloud
+
+DECODE_ERRORS = (ValueError, IndexError, KeyError, StopIteration, struct.error, OverflowError)
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return PointCloud(generate_frame("kitti-road", 0).xyz[::10])
+
+
+@pytest.fixture(scope="module")
+def payload(cloud):
+    return DBGCCompressor(DBGCParams()).compress(cloud)
+
+
+def _expect_failure_or_mismatch(decode, data, n_expected):
+    """Decoding corrupt data must raise, or at least not lie silently.
+
+    Entropy-coded streams cannot detect every flipped bit; what we require
+    is: no hang, no interpreter crash, and when a value *is* returned it is
+    a well-formed cloud object.
+    """
+    try:
+        result = decode(data)
+    except DECODE_ERRORS:
+        return True
+    assert result.xyz.shape[1] == 3
+    return len(result) != n_expected
+
+
+class TestDbgcStream:
+    def test_truncations_never_hang(self, payload, cloud):
+        decoder = DBGCDecompressor()
+        for cut in (5, 20, len(payload) // 2, len(payload) - 3):
+            _expect_failure_or_mismatch(decoder.decompress, payload[:cut], len(cloud))
+
+    def test_header_bit_flips(self, payload, cloud):
+        decoder = DBGCDecompressor()
+        for position in range(0, 40, 3):
+            corrupted = bytearray(payload)
+            corrupted[position] ^= 0xFF
+            _expect_failure_or_mismatch(
+                decoder.decompress, bytes(corrupted), len(cloud)
+            )
+
+    def test_random_bit_flips(self, payload, cloud):
+        decoder = DBGCDecompressor()
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            corrupted = bytearray(payload)
+            corrupted[rng.integers(0, len(payload))] ^= 1 << rng.integers(0, 8)
+            _expect_failure_or_mismatch(
+                decoder.decompress, bytes(corrupted), len(cloud)
+            )
+
+    def test_empty_and_garbage(self):
+        decoder = DBGCDecompressor()
+        with pytest.raises(DECODE_ERRORS):
+            decoder.decompress(b"")
+        with pytest.raises(DECODE_ERRORS):
+            decoder.decompress(b"\x00" * 64)
+        with pytest.raises(DECODE_ERRORS):
+            decoder.decompress(bytes(range(256)))
+
+    def test_swapped_sections_detected_or_harmless(self, payload, cloud):
+        # Duplicate the stream onto itself mid-way: sizes go inconsistent.
+        data = payload[: len(payload) // 2] + payload[: len(payload) // 2]
+        _expect_failure_or_mismatch(
+            DBGCDecompressor().decompress, data, len(cloud)
+        )
+
+
+class TestBaselineStreams:
+    @pytest.mark.parametrize(
+        "cls", [OctreeCompressor, OctreeICompressor, KdTreeCompressor, GpccCompressor]
+    )
+    def test_truncation_and_flips(self, cls, cloud):
+        codec = cls(0.05)
+        payload = codec.compress(cloud)
+        for cut in (3, len(payload) // 3, len(payload) - 2):
+            _expect_failure_or_mismatch(codec.decompress, payload[:cut], len(cloud))
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            corrupted = bytearray(payload)
+            corrupted[rng.integers(0, len(payload))] ^= 0xFF
+            _expect_failure_or_mismatch(
+                codec.decompress, bytes(corrupted), len(cloud)
+            )
+
+
+class TestRoundTripUnderhandedInputs:
+    """Valid but nasty inputs must round-trip, not just fail gracefully."""
+
+    @pytest.mark.parametrize(
+        "xyz",
+        [
+            np.full((40, 3), 1e-9),                    # everything at the origin
+            np.array([[100.0, 100.0, 100.0]] * 17),    # far duplicates
+            np.column_stack(                            # a single vertical pole
+                [np.zeros(50), np.zeros(50) + 5.0, np.linspace(-2, 10, 50)]
+            ),
+        ],
+        ids=["origin-cluster", "far-duplicates", "vertical-pole"],
+    )
+    def test_degenerate_geometry(self, xyz):
+        params = DBGCParams()
+        compressor = DBGCCompressor(params)
+        result = compressor.compress_detailed(PointCloud(xyz))
+        decoded = DBGCDecompressor().decompress(result.payload)
+        assert len(decoded) == len(xyz)
+        err = np.linalg.norm(decoded.xyz[result.mapping] - xyz, axis=1)
+        assert err.max() <= np.sqrt(3) * params.q_xyz * (1 + 1e-6)
+
+    def test_huge_coordinates(self):
+        rng = np.random.default_rng(2)
+        xyz = rng.uniform(9000.0, 9100.0, size=(100, 3))
+        params = DBGCParams(q_xyz=0.05)
+        result = DBGCCompressor(params).compress_detailed(PointCloud(xyz))
+        decoded = DBGCDecompressor().decompress(result.payload)
+        err = np.linalg.norm(decoded.xyz[result.mapping] - xyz, axis=1)
+        assert err.max() <= np.sqrt(3) * params.q_xyz * (1 + 1e-6)

@@ -1,0 +1,96 @@
+"""Unit tests for sparse-codec internals (heads/tails split, stream tags)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sparse_codec import (
+    _heads_tails,
+    _pack_stream,
+    _rebuild_lines,
+    _unpack_stream,
+)
+
+
+def _lines_from(spec):
+    return [np.asarray(line, dtype=np.int64) for line in spec]
+
+
+class TestHeadsTails:
+    def test_single_line(self):
+        heads, tails = _heads_tails(_lines_from([[10, 12, 15]]))
+        assert heads.tolist() == [10]  # first head raw (delta vs 0)
+        assert tails.tolist() == [2, 3]
+
+    def test_heads_delta_across_lines(self):
+        heads, tails = _heads_tails(_lines_from([[100], [103], [101]]))
+        assert heads.tolist() == [100, 3, -2]
+        assert tails.size == 0
+
+    def test_rebuild_inverts(self):
+        spec = [[5, 7, 6], [100, 98], [42]]
+        lines = _lines_from(spec)
+        heads, tails = _heads_tails(lines)
+        rebuilt = _rebuild_lines(heads, tails, [len(l) for l in spec])
+        for got, want in zip(rebuilt, lines):
+            assert np.array_equal(got, want)
+
+    @given(
+        st.lists(
+            st.lists(st.integers(-10000, 10000), min_size=1, max_size=10),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, spec):
+        lines = _lines_from(spec)
+        heads, tails = _heads_tails(lines)
+        rebuilt = _rebuild_lines(heads, tails, [len(l) for l in spec])
+        for got, want in zip(rebuilt, lines):
+            assert np.array_equal(got, want)
+
+
+class TestTaggedStreams:
+    def test_roundtrip_small(self):
+        values = np.array([0, -1, 5, 5, 5, -100], dtype=np.int64)
+        assert np.array_equal(_unpack_stream(_pack_stream(values), 6), values)
+
+    def test_empty(self):
+        data = _pack_stream(np.empty(0, dtype=np.int64))
+        assert _unpack_stream(data, 0).size == 0
+
+    def test_picks_smaller_encoding(self):
+        # Long LZ-friendly repeats: whichever wins, the tag must say so and
+        # the payload must be no larger than either candidate alone.
+        from repro.entropy.arithmetic import encode_int_sequence
+        from repro.entropy.deflate import deflate_compress
+        from repro.entropy.varint import encode_varints
+
+        values = np.tile(np.array([3, 1, 4, 1, 5, 9, 2, 6], dtype=np.int64), 200)
+        packed = _pack_stream(values)
+        deflated = deflate_compress(encode_varints(values))
+        arithmetic = encode_int_sequence(values)
+        assert len(packed) - 1 == min(len(deflated), len(arithmetic))
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ValueError):
+            _unpack_stream(b"", 3)
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError):
+            _unpack_stream(bytes([7, 1, 2, 3]), 1)
+
+    def test_count_mismatch_rejected(self):
+        values = np.array([1, 2, 3], dtype=np.int64)
+        packed = _pack_stream(values)
+        if packed[0] == 1:  # arithmetic mode validates the count
+            with pytest.raises(ValueError):
+                _unpack_stream(packed, 5)
+
+    @given(st.lists(st.integers(-(2**40), 2**40), max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, raw):
+        values = np.array(raw, dtype=np.int64)
+        assert np.array_equal(_unpack_stream(_pack_stream(values), len(raw)), values)

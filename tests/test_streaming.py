@@ -1,0 +1,126 @@
+"""Tests for trajectories and frame-stream compression."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import DBGCParams
+from repro.core.streaming import (
+    FrameStreamReader,
+    FrameStreamWriter,
+    StreamStats,
+    compress_stream,
+)
+from repro.datasets import SensorModel
+from repro.datasets.trajectories import curve, generate_sequence, loop, straight
+from repro.geometry import PointCloud
+
+
+@pytest.fixture(scope="module")
+def small_sensor():
+    return SensorModel.benchmark_default().scaled(0.4)
+
+
+class TestTrajectories:
+    def test_straight_spacing(self):
+        traj = straight(5, speed_mps=10.0, fps=10.0)
+        assert len(traj) == 5
+        assert traj[1][0] - traj[0][0] == pytest.approx(1.0)
+        assert traj.total_distance() == pytest.approx(4.0)
+
+    def test_straight_heading(self):
+        traj = straight(3, heading_deg=90.0)
+        assert traj[2][0] == pytest.approx(0.0, abs=1e-9)
+        assert traj[2][1] == pytest.approx(2.0)
+
+    def test_curve_keeps_speed(self):
+        traj = curve(20, speed_mps=10.0, fps=10.0, turn_radius_m=30.0)
+        steps = np.linalg.norm(np.diff(traj.positions, axis=0), axis=1)
+        assert np.allclose(steps, 1.0, atol=0.01)
+
+    def test_loop_closes(self):
+        traj = loop(36, radius_m=40.0)
+        start = np.array(traj[0])
+        end = np.array(traj[35])
+        assert np.linalg.norm(end - start) < 2 * np.pi * 40.0 / 36 * 1.1
+
+    def test_sequence_generates_overlapping_frames(self, small_sensor):
+        frames = list(
+            generate_sequence("kitti-road", straight(2), sensor=small_sensor)
+        )
+        assert len(frames) == 2
+        assert len(frames[0]) > 1000
+        assert not np.array_equal(frames[0].xyz[:50], frames[1].xyz[:50])
+
+    def test_unknown_scene_rejected(self):
+        with pytest.raises(KeyError):
+            list(generate_sequence("nowhere", straight(1)))
+
+
+class TestStreamStats:
+    def test_accumulates(self):
+        stats = StreamStats()
+        stats.record(1000, 600)
+        stats.record(1000, 400)
+        assert stats.n_frames == 2
+        assert stats.total_points == 2000
+        assert stats.compression_ratio == pytest.approx(24000 / 1000)
+        assert stats.bandwidth_mbps(10.0) == pytest.approx(8 * 10 * 500 / 1e6)
+
+    def test_empty(self):
+        stats = StreamStats()
+        assert stats.compression_ratio == float("inf")
+        assert stats.bandwidth_mbps(10.0) == 0.0
+
+
+class TestFrameStream:
+    def test_write_read_roundtrip(self, small_sensor):
+        frames = list(
+            generate_sequence("kitti-road", straight(3), sensor=small_sensor)
+        )
+        buffer = io.BytesIO()
+        writer = FrameStreamWriter(buffer, DBGCParams(), sensor=small_sensor)
+        for frame in frames:
+            writer.write_frame(frame)
+        assert writer.stats.n_frames == 3
+
+        buffer.seek(0)
+        decoded = list(FrameStreamReader(buffer))
+        assert [len(f) for f in decoded] == [len(f) for f in frames]
+
+    def test_payloads_are_standalone(self, small_sensor):
+        from repro.core import DBGCDecompressor
+
+        frames = list(
+            generate_sequence("kitti-road", straight(2), sensor=small_sensor)
+        )
+        blob, stats = compress_stream(frames, sensor=small_sensor)
+        reader = FrameStreamReader(io.BytesIO(blob))
+        payloads = list(reader.payloads())
+        assert len(payloads) == 2
+        # Any frame can be decoded in isolation (late join / seek).
+        cloud = DBGCDecompressor().decompress(payloads[1])
+        assert len(cloud) == len(frames[1])
+
+    def test_stats_match_stream(self, small_sensor):
+        frames = list(
+            generate_sequence("kitti-road", straight(2), sensor=small_sensor)
+        )
+        blob, stats = compress_stream(frames, sensor=small_sensor)
+        assert stats.n_frames == 2
+        assert stats.total_compressed_bytes < len(blob)  # header overhead only
+        assert stats.compression_ratio > 3.0
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            FrameStreamReader(io.BytesIO(b"NOPE" + bytes(10)))
+
+    def test_truncated_payload_rejected(self, small_sensor):
+        frames = list(
+            generate_sequence("kitti-road", straight(1), sensor=small_sensor)
+        )
+        blob, _ = compress_stream(frames, sensor=small_sensor)
+        reader = FrameStreamReader(io.BytesIO(blob[:-10]))
+        with pytest.raises(ValueError):
+            list(reader.payloads())

@@ -1,0 +1,52 @@
+"""Tests for the parallel frame compressor."""
+
+import numpy as np
+import pytest
+
+from repro.core import DBGCCompressor, DBGCDecompressor, DBGCParams
+from repro.datasets import SensorModel, generate_frame
+from repro.geometry import PointCloud
+from repro.system.parallel import ParallelFrameCompressor
+
+
+@pytest.fixture(scope="module")
+def small_sensor():
+    return SensorModel.benchmark_default().scaled(0.3)
+
+
+@pytest.fixture(scope="module")
+def frames(small_sensor):
+    return [
+        PointCloud(generate_frame("kitti-road", i, sensor=small_sensor).xyz)
+        for i in range(3)
+    ]
+
+
+class TestParallel:
+    def test_payloads_match_serial(self, frames, small_sensor):
+        params = DBGCParams()
+        serial = [DBGCCompressor(params, sensor=small_sensor).compress(f) for f in frames]
+        with ParallelFrameCompressor(params, sensor=small_sensor, workers=2) as pool:
+            parallel = pool.compress_all(frames)
+        assert parallel == serial  # byte-identical, order preserved
+
+    def test_payloads_decode(self, frames, small_sensor):
+        with ParallelFrameCompressor(sensor=small_sensor, workers=2) as pool:
+            payloads = pool.compress_all(frames)
+        decoder = DBGCDecompressor()
+        for payload, frame in zip(payloads, frames):
+            assert len(decoder.decompress(payload)) == len(frame)
+
+    def test_streaming_interface(self, frames, small_sensor):
+        with ParallelFrameCompressor(sensor=small_sensor, workers=2) as pool:
+            count = sum(1 for _ in pool.compress_stream(frames))
+        assert count == len(frames)
+
+    def test_requires_context_manager(self, frames):
+        pool = ParallelFrameCompressor(workers=1)
+        with pytest.raises(RuntimeError):
+            list(pool.compress_stream(frames))
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ParallelFrameCompressor(workers=0)
