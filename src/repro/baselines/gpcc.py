@@ -26,8 +26,12 @@ from repro.entropy.arithmetic import (
     AdaptiveModel,
     ArithmeticDecoder,
     ArithmeticEncoder,
-    decode_int_sequence,
-    encode_int_sequence,
+)
+from repro.entropy.backend import (
+    AdaptiveArithmeticBackend,
+    decode_tagged_ints,
+    encode_tagged_ints,
+    get_backend,
 )
 from repro.entropy.bitio import BitReader, BitWriter
 from repro.entropy.varint import decode_uvarint, encode_uvarint
@@ -48,9 +52,23 @@ class GpccCompressor(GeometryCompressor):
 
     name = "G-PCC"
 
-    def __init__(self, q_xyz: float, increment: int = 32) -> None:
+    def __init__(
+        self,
+        q_xyz: float,
+        increment: int = 32,
+        backend: str = "adaptive-arith",
+    ) -> None:
         super().__init__(q_xyz)
         self.increment = increment
+        # The occupancy and IDCM-flag streams are context-interleaved and
+        # adapt symbol-by-symbol, which is incompatible with a two-pass
+        # table-building coder — they always use adaptive arithmetic.  The
+        # backend only switches the self-contained leaf-count stream.
+        self.backend = (
+            AdaptiveArithmeticBackend(increment)
+            if backend == "adaptive-arith"
+            else get_backend(backend)
+        )
 
     def _occupancy_models(self) -> dict[int, AdaptiveModel]:
         # Lazily built: context = the parent's occupancy byte (0 at the root),
@@ -133,7 +151,9 @@ class GpccCompressor(GeometryCompressor):
         direct_payload = direct.getvalue()
         encode_uvarint(len(direct_payload), out)
         out += direct_payload
-        out += encode_int_sequence(np.asarray(leaf_counts, dtype=np.int64) - 1)
+        out += encode_tagged_ints(
+            np.asarray(leaf_counts, dtype=np.int64) - 1, self.backend
+        )
         return bytes(out)
 
     def decompress(self, data: bytes) -> PointCloud:
@@ -176,7 +196,7 @@ class GpccCompressor(GeometryCompressor):
             child_ctx = occupancy
             for i in present:
                 queue.append(((prefix << 3) | i, level + 1, child_ctx))
-        tree_counts = decode_int_sequence(counts_stream) + 1
+        tree_counts = decode_tagged_ints(counts_stream, self.backend) + 1
         if tree_counts.size != len(tree_leaf_slots):
             raise ValueError("leaf count stream does not match tree")
         counts = np.ones(len(leaves), dtype=np.int64)

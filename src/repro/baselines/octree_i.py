@@ -21,12 +21,13 @@ import struct
 import numpy as np
 
 from repro.baselines.base import GeometryCompressor
-from repro.entropy.arithmetic import (
-    AdaptiveModel,
-    ArithmeticDecoder,
-    ArithmeticEncoder,
-    decode_int_sequence,
-    encode_int_sequence,
+from repro.entropy.backend import (
+    AdaptiveArithmeticBackend,
+    decode_tagged_ints,
+    decode_tagged_symbols,
+    encode_tagged_ints,
+    encode_tagged_symbols,
+    get_backend,
 )
 from repro.entropy.varint import decode_uvarint, encode_uvarint
 from repro.geometry.bbox import BoundingCube
@@ -55,9 +56,19 @@ class OctreeICompressor(GeometryCompressor):
 
     name = "Octree_i"
 
-    def __init__(self, q_xyz: float, increment: int = 32) -> None:
+    def __init__(
+        self,
+        q_xyz: float,
+        increment: int = 32,
+        backend: str = "adaptive-arith",
+    ) -> None:
         super().__init__(q_xyz)
         self.increment = increment
+        self.backend = (
+            AdaptiveArithmeticBackend(increment)
+            if backend == "adaptive-arith"
+            else get_backend(backend)
+        )
         self._plain = OctreeCodec(self.leaf_side)
 
     def compress(self, cloud: PointCloud) -> bytes:
@@ -90,16 +101,14 @@ class OctreeICompressor(GeometryCompressor):
         encode_uvarint(len(groups), out)
         for context in sorted(groups):
             symbols = groups[context]
-            model = AdaptiveModel(256, increment=self.increment)
-            encoder = ArithmeticEncoder()
-            for byte in symbols:
-                encoder.encode_symbol(model, byte)
-            payload = encoder.finish()
+            payload = encode_tagged_symbols(
+                np.asarray(symbols, dtype=np.int64), 256, self.backend
+            )
             encode_uvarint(context, out)
             encode_uvarint(len(symbols), out)
             encode_uvarint(len(payload), out)
             out += payload
-        out += encode_int_sequence(structure.leaf_counts - 1)
+        out += encode_tagged_ints(structure.leaf_counts - 1, self.backend)
         return bytes(out)
 
     def decompress(self, data: bytes) -> PointCloud:
@@ -110,27 +119,38 @@ class OctreeICompressor(GeometryCompressor):
         pos += _HEADER.size
         depth, pos = decode_uvarint(data, pos)
         n_groups, pos = decode_uvarint(data, pos)
-        decoders: dict[int, tuple[ArithmeticDecoder, AdaptiveModel, int]] = {}
+        # Each group is a self-contained tagged stream, so it decodes fully
+        # upfront; the traversal below consumes it through a cursor.  This
+        # also lets group streams use the vectorized backend.
+        group_symbols: dict[int, np.ndarray] = {}
+        cursors: dict[int, int] = {}
         for _ in range(n_groups):
             context, pos = decode_uvarint(data, pos)
             count, pos = decode_uvarint(data, pos)
             size, pos = decode_uvarint(data, pos)
-            decoders[context] = (
-                ArithmeticDecoder(data[pos : pos + size]),
-                AdaptiveModel(256, increment=self.increment),
-                count,
+            group_symbols[context] = decode_tagged_symbols(
+                data[pos : pos + size], count, 256, self.backend
             )
+            cursors[context] = 0
             pos += size
         nodes = np.zeros(1, dtype=np.int64)
         parent_contexts = np.zeros(1, dtype=np.int64)
         for _ in range(depth):
             occupancy = np.empty(len(nodes), dtype=np.uint8)
-            for i, context in enumerate(parent_contexts.tolist()):
-                decoder, model, _ = decoders[context]
-                occupancy[i] = decoder.decode_symbol(model)
+            # Equal contexts take consecutive symbols from their group, in
+            # BFS order — exactly how the encoder appended them.
+            for context in np.unique(parent_contexts):
+                ctx = int(context)
+                idx = np.flatnonzero(parent_contexts == context)
+                cur = cursors[ctx]
+                chunk = group_symbols[ctx][cur : cur + idx.size]
+                if chunk.size != idx.size:
+                    raise ValueError("occupancy group stream exhausted")
+                occupancy[idx] = chunk
+                cursors[ctx] = cur + idx.size
             nodes = expand_occupancy_level(nodes, occupancy)
             parent_contexts = _child_contexts(occupancy)
-        counts = decode_int_sequence(data[pos:]) + 1
+        counts = decode_tagged_ints(data[pos:], self.backend) + 1
         if counts.size != nodes.size:
             raise ValueError("leaf counts do not match tree")
         ix, iy, iz = deinterleave3(nodes)

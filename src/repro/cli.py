@@ -83,7 +83,11 @@ def _add_sensor_arg(parser: argparse.ArgumentParser) -> None:
 
 def _cmd_compress(args: argparse.Namespace) -> int:
     cloud = _load_cloud(Path(args.input))
-    params = DBGCParams(q_xyz=args.q, strict_cartesian=args.strict)
+    params = DBGCParams(
+        q_xyz=args.q,
+        strict_cartesian=args.strict,
+        entropy_backend=args.entropy_backend,
+    )
     compressor = DBGCCompressor(params, sensor=_sensor_from_args(args))
     start = time.perf_counter()
     result = compressor.compress_detailed(cloud)
@@ -113,8 +117,9 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
 def _cmd_info(args: argparse.Namespace) -> int:
     payload = Path(args.input).read_bytes()
     header, dense, groups, outlier, attrs = unpack_container(payload)
-    print(f"{args.input}: {len(payload)} bytes, DBGC v1")
+    print(f"{args.input}: {len(payload)} bytes, DBGC v{payload[4]}")
     print(f"  error bound q_xyz : {header.q_xyz} m")
+    print(f"  entropy backend   : {header.entropy_backend}")
     print(f"  angular steps     : u_theta={header.u_theta:.6f}, u_phi={header.u_phi:.6f}")
     print(
         f"  coding flags      : spherical={header.spherical_conversion}, "
@@ -231,6 +236,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--q", type=float, default=0.02, help="error bound in meters")
     p.add_argument(
         "--strict", action="store_true", help="hard per-dimension error bound"
+    )
+    from repro.entropy.backend import available_backends
+
+    p.add_argument(
+        "--entropy-backend",
+        default="adaptive-arith",
+        choices=available_backends(),
+        help="entropy coder for the compressed streams",
     )
     _add_sensor_arg(p)
     p.set_defaults(func=_cmd_compress)

@@ -13,7 +13,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.entropy.arithmetic import decode_int_sequence, encode_int_sequence
+from repro.entropy.backend import (
+    EntropyBackend,
+    decode_tagged_ints,
+    encode_tagged_ints,
+)
 from repro.entropy.varint import decode_uvarint, encode_uvarint
 
 __all__ = ["encode_attributes", "decode_attributes", "DEFAULT_ATTRIBUTE_STEP"]
@@ -26,6 +30,7 @@ def encode_attributes(
     attributes: dict[str, np.ndarray],
     mapping: np.ndarray,
     steps: dict[str, float] | float = DEFAULT_ATTRIBUTE_STEP,
+    backend: str | EntropyBackend = "adaptive-arith",
 ) -> bytes:
     """Encode named scalar attributes in decoded point order.
 
@@ -38,6 +43,9 @@ def encode_attributes(
     steps:
         Quantization step per attribute (or one step for all).  The
         reconstruction error per value is at most ``step / 2``.
+    backend:
+        Entropy backend for the delta streams (streams are tagged, so the
+        decoder needs no configuration).
     """
     out = bytearray()
     encode_uvarint(len(attributes), out)
@@ -59,7 +67,7 @@ def encode_attributes(
         reordered = np.empty_like(values)
         reordered[mapping] = values
         ints = np.round(reordered / step).astype(np.int64)
-        payload = encode_int_sequence(np.diff(ints, prepend=np.int64(0)))
+        payload = encode_tagged_ints(np.diff(ints, prepend=np.int64(0)), backend)
         encode_uvarint(len(payload), out)
         out += payload
     return bytes(out)
@@ -78,7 +86,7 @@ def decode_attributes(data: bytes) -> dict[str, np.ndarray]:
         step = float(np.frombuffer(data, dtype=np.float64, count=1, offset=pos)[0])
         pos += 8
         size, pos = decode_uvarint(data, pos)
-        deltas = decode_int_sequence(data[pos : pos + size])
+        deltas = decode_tagged_ints(data[pos : pos + size])
         pos += size
         attributes[name] = np.cumsum(deltas).astype(np.float64) * step
     return attributes

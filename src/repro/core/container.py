@@ -1,10 +1,16 @@
 """Final bit-sequence layout (paper Section 3.7, Figure 8).
 
-The container records the error bound, the coding flags and the sensor's
-angular steps, followed by the three length-prefixed components: the octree
-stream for dense points, one coordinate stream per radial group (each group
-carries its own ``r_max`` inside, Figure 8b), and the outlier stream.  The
-header makes the decompressor fully self-contained.
+The container records the error bound, the coding flags, the frame's
+entropy-backend tag and the sensor's angular steps, followed by the three
+length-prefixed components: the octree stream for dense points, one
+coordinate stream per radial group (each group carries its own ``r_max``
+inside, Figure 8b), and the outlier stream.  The header makes the
+decompressor fully self-contained.
+
+Format version 2 adds the entropy-backend byte (the frame-level default;
+every entropy-coded stream additionally carries its own tag byte, so the
+header field is informational) and covers the version-2 stream layouts of
+the sub-codecs — see docs/FORMAT.md.
 """
 
 from __future__ import annotations
@@ -13,12 +19,13 @@ import struct
 from dataclasses import dataclass
 
 from repro.core.params import DBGCParams
+from repro.entropy.backend import backend_for_tag, get_backend
 from repro.entropy.varint import decode_uvarint, encode_uvarint
 
 __all__ = ["ContainerHeader", "pack_container", "unpack_container"]
 
 _MAGIC = b"DBGC"
-_VERSION = 1
+_VERSION = 2
 _FIXED = struct.Struct("<4d")  # q_xyz, u_theta, u_phi, th_r
 
 _FLAG_SPHERICAL = 1
@@ -37,6 +44,8 @@ class ContainerHeader:
     spherical_conversion: bool
     radial_reference: bool
     strict_cartesian: bool
+    #: Frame-level default entropy backend (streams carry their own tags).
+    entropy_backend: str = "adaptive-arith"
 
     def to_params(self, base: DBGCParams | None = None) -> DBGCParams:
         """Reconstruct the params fields the decompressor needs."""
@@ -47,6 +56,7 @@ class ContainerHeader:
             spherical_conversion=self.spherical_conversion,
             radial_reference=self.radial_reference,
             strict_cartesian=self.strict_cartesian,
+            entropy_backend=self.entropy_backend,
         )
 
 
@@ -74,6 +84,7 @@ def pack_container(
     if params.strict_cartesian:
         flags |= _FLAG_STRICT
     out.append(flags)
+    out.append(get_backend(params.entropy_backend).tag)
     out += _FIXED.pack(params.q_xyz, u_theta, u_phi, params.th_r)
     encode_uvarint(len(dense_payload), out)
     out += dense_payload
@@ -97,8 +108,9 @@ def unpack_container(
     if data[4] != _VERSION:
         raise ValueError(f"unsupported DBGC version {data[4]}")
     flags = data[5]
-    q_xyz, u_theta, u_phi, th_r = _FIXED.unpack_from(data, 6)
-    pos = 6 + _FIXED.size
+    backend = backend_for_tag(data[6])
+    q_xyz, u_theta, u_phi, th_r = _FIXED.unpack_from(data, 7)
+    pos = 7 + _FIXED.size
     header = ContainerHeader(
         q_xyz=q_xyz,
         u_theta=u_theta,
@@ -107,6 +119,7 @@ def unpack_container(
         spherical_conversion=bool(flags & _FLAG_SPHERICAL),
         radial_reference=bool(flags & _FLAG_RADIAL),
         strict_cartesian=bool(flags & _FLAG_STRICT),
+        entropy_backend=backend.name,
     )
     size, pos = decode_uvarint(data, pos)
     dense = data[pos : pos + size]

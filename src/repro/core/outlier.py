@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.params import DBGCParams
-from repro.entropy.arithmetic import decode_int_sequence, encode_int_sequence
+from repro.entropy.backend import decode_tagged_ints, encode_tagged_ints
 from repro.entropy.varint import decode_uvarint, encode_uvarint
 from repro.octree.codec import OctreeCodec
 from repro.octree.quadtree import QuadtreeCodec
@@ -34,7 +34,7 @@ def encode_outliers(
     if n == 0:
         return bytes(out), np.empty(0, dtype=np.int64)
     if params.outlier_mode == "quadtree":
-        codec = QuadtreeCodec(params.leaf_side)
+        codec = QuadtreeCodec(params.leaf_side, backend=params.entropy_backend)
         xy = xyz[:, :2]
         tree_payload = codec.encode(xy)
         mapping = codec.mapping(xy)
@@ -43,10 +43,12 @@ def encode_outliers(
         # z travels in decoded (Morton) order: quantize, delta, entropy-code.
         order = np.argsort(mapping, kind="stable")  # decoded position -> original
         z_ints = np.round(xyz[order, 2] / params.leaf_side).astype(np.int64)
-        out += encode_int_sequence(np.diff(z_ints, prepend=np.int64(0)))
+        out += encode_tagged_ints(
+            np.diff(z_ints, prepend=np.int64(0)), params.entropy_backend
+        )
         return bytes(out), mapping
     if params.outlier_mode == "octree":
-        codec = OctreeCodec(params.leaf_side)
+        codec = OctreeCodec(params.leaf_side, backend=params.entropy_backend)
         out += codec.encode(xyz)
         return bytes(out), codec.mapping(xyz)
     # "none": raw float32 coordinates (the Table 2 no-compression baseline).
@@ -69,7 +71,7 @@ def decode_outliers(payload: bytes, params: DBGCParams) -> np.ndarray:
         codec = QuadtreeCodec(params.leaf_side)
         xy = codec.decode(payload[pos : pos + tree_size])
         pos += tree_size
-        z_ints = np.cumsum(decode_int_sequence(payload[pos:]))
+        z_ints = np.cumsum(decode_tagged_ints(payload[pos:]))
         if len(z_ints) != len(xy):
             raise ValueError("outlier z stream does not match quadtree")
         return np.column_stack([xy, z_ints.astype(np.float64) * params.leaf_side])

@@ -148,7 +148,7 @@ class DBGCCompressor:
         sparse_idx = np.flatnonzero(~dense_mask)
 
         t0 = time.perf_counter()
-        octree = OctreeCodec(params.leaf_side)
+        octree = OctreeCodec(params.leaf_side, backend=params.entropy_backend)
         dense_payload = octree.encode(xyz[dense_idx])
         mapping = np.empty(n, dtype=np.int64)
         if len(dense_idx):
@@ -203,7 +203,9 @@ class DBGCCompressor:
 
         attribute_payload = b""
         if attributes:
-            attribute_payload = encode_attributes(attributes, mapping, attribute_steps)
+            attribute_payload = encode_attributes(
+                attributes, mapping, attribute_steps, backend=params.entropy_backend
+            )
             sizes["attributes"] = len(attribute_payload)
 
         payload = pack_container(

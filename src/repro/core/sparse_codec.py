@@ -37,11 +37,14 @@ from repro.core.reference import (
     encode_radial,
     encode_radial_plain,
 )
-from repro.entropy.arithmetic import (
-    arithmetic_decode,
-    arithmetic_encode,
-    decode_int_sequence,
-    encode_int_sequence,
+from repro.entropy.backend import (
+    EntropyBackend,
+    decode_tagged_ints,
+    decode_tagged_symbols,
+    encode_tagged_ints,
+    encode_tagged_symbols,
+    get_backend,
+    resolve_tag,
 )
 from repro.entropy.deflate import deflate_compress, deflate_decompress
 from repro.entropy.varint import (
@@ -111,38 +114,47 @@ def _rebuild_lines(
 
 
 _STREAM_DEFLATE = 0
-_STREAM_ARITHMETIC = 1
+#: Entropy-backend streams use mode byte ``backend.tag + 1``; the adaptive
+#: arithmetic backend (tag 0) therefore keeps the historical mode byte 1.
 
 
-def _pack_stream(values: np.ndarray) -> bytes:
-    """Entropy-code an int stream with the better of Deflate / arithmetic.
+def _pack_stream(
+    values: np.ndarray, backend: str | EntropyBackend = "adaptive-arith"
+) -> bytes:
+    """Entropy-code an int stream with the better of Deflate / the backend.
 
     The paper uses Deflate for the azimuthal streams because repeated
     cross-line patterns favor LZ matching (Step 6); on data whose deltas
-    are near-constant-with-noise an adaptive arithmetic model wins instead.
-    A one-byte tag records the choice, so the codec always takes the
-    smaller encoding.
+    are near-constant-with-noise the entropy backend wins instead.  A
+    one-byte mode tag records the choice (0 = Deflate, otherwise
+    ``backend.tag + 1``), so the codec always takes the smaller encoding
+    and the decoder follows the stream, not the configuration.
     """
+    b = get_backend(backend)
     deflated = deflate_compress(encode_varints(values, signed=True))
-    arithmetic = encode_int_sequence(values)
-    if len(deflated) < len(arithmetic):
+    coded = b.encode_ints(values)
+    if len(deflated) < len(coded):
         return bytes([_STREAM_DEFLATE]) + deflated
-    return bytes([_STREAM_ARITHMETIC]) + arithmetic
+    return bytes([b.tag + 1]) + coded
 
 
-def _unpack_stream(data: bytes, count: int) -> np.ndarray:
+def _unpack_stream(
+    data: bytes, count: int, preferred: EntropyBackend | None = None
+) -> np.ndarray:
     """Inverse of :func:`_pack_stream`."""
     if not data:
         raise ValueError("empty entropy stream")
     mode, payload = data[0], data[1:]
     if mode == _STREAM_DEFLATE:
         return decode_varints(deflate_decompress(payload), count, signed=True)
-    if mode == _STREAM_ARITHMETIC:
-        values = decode_int_sequence(payload)
-        if values.size != count:
-            raise ValueError("entropy stream count mismatch")
-        return values
-    raise ValueError(f"unknown stream mode byte {mode}")
+    try:
+        backend = resolve_tag(mode - 1, preferred)
+    except ValueError:
+        raise ValueError(f"unknown stream mode byte {mode}") from None
+    values = backend.decode_ints(payload)
+    if values.size != count:
+        raise ValueError("entropy stream count mismatch")
+    return values
 
 
 def _append_stream(out: bytearray, payload: bytes) -> None:
@@ -235,29 +247,31 @@ def encode_sparse_group(
     lengths = [len(line) for line in lines]
     order = np.concatenate(lines)
 
+    backend = get_backend(params.entropy_backend)
+
     out = bytearray()
     encode_uvarint(int(order.size), out)
     encode_uvarint(len(lines), out)
     out += _RMAX.pack(r_max)
     sizes: dict[str, int] = {}
 
-    payload = encode_int_sequence(np.asarray(lengths, dtype=np.int64))
+    payload = encode_tagged_ints(np.asarray(lengths, dtype=np.int64), backend)
     _append_stream(out, payload)
     sizes["lengths"] = len(payload)
 
     d1_heads, d1_tails = _heads_tails(lines_d1)
-    payload = _pack_stream(d1_heads)
+    payload = _pack_stream(d1_heads, backend)
     _append_stream(out, payload)
     sizes["d1_heads"] = len(payload)
-    payload = _pack_stream(d1_tails)
+    payload = _pack_stream(d1_tails, backend)
     _append_stream(out, payload)
     sizes["d1_tails"] = len(payload)
 
     d2_heads, d2_tails = _heads_tails(lines_d2)
-    payload = _pack_stream(d2_heads)
+    payload = _pack_stream(d2_heads, backend)
     _append_stream(out, payload)
     sizes["d2_heads"] = len(payload)
-    payload = _pack_stream(d2_tails)
+    payload = _pack_stream(d2_tails, backend)
     _append_stream(out, payload)
     sizes["d2_tails"] = len(payload)
 
@@ -270,13 +284,16 @@ def encode_sparse_group(
         )
         ref_payload = bytearray()
         encode_uvarint(len(symbols), ref_payload)
-        ref_payload += arithmetic_encode(symbols, 4)
+        if len(symbols):
+            ref_payload += encode_tagged_symbols(
+                np.asarray(symbols, dtype=np.int64), 4, backend
+            )
     else:
         nabla = encode_radial_plain(lines_d3)
         ref_payload = bytearray()
         encode_uvarint(0, ref_payload)
 
-    payload = encode_int_sequence(nabla)
+    payload = encode_tagged_ints(nabla, backend)
     _append_stream(out, payload)
     sizes["d3"] = len(payload)
     _append_stream(out, bytes(ref_payload))
@@ -314,7 +331,7 @@ def decode_sparse_group(
     )
 
     stream, pos = _read_stream(payload, pos)
-    lengths = decode_int_sequence(stream).tolist()
+    lengths = decode_tagged_ints(stream).tolist()
     if len(lengths) != n_lines or sum(lengths) != n_points:
         raise ValueError("corrupt sparse group: length stream mismatch")
 
@@ -332,12 +349,15 @@ def decode_sparse_group(
     lines_d2 = _rebuild_lines(d2_heads, d2_tails, lengths)
 
     stream, pos = _read_stream(payload, pos)
-    nabla = decode_int_sequence(stream)
+    nabla = decode_tagged_ints(stream)
     ref_stream, pos = _read_stream(payload, pos)
     n_symbols, ref_pos = decode_uvarint(ref_stream, 0)
 
     if params.spherical_conversion and params.radial_reference:
-        symbols = arithmetic_decode(ref_stream[ref_pos:], n_symbols, 4)
+        if n_symbols:
+            symbols = decode_tagged_symbols(ref_stream[ref_pos:], n_symbols, 4)
+        else:
+            symbols = np.empty(0, dtype=np.int64)
         th_phi_q = max(int(round(2.0 * u_phi / (2.0 * q_phi))), 0)
         th_r_q = max(int(round(params.th_r / (2.0 * q_r))), 1)
         line_phis = [int(d2[0]) for d2 in lines_d2]

@@ -14,6 +14,9 @@ codec libraries:
 - :mod:`~repro.entropy.huffman` — canonical Huffman codec for byte streams.
 - :mod:`~repro.entropy.lz77` — hash-chain LZ77 tokenizer.
 - :mod:`~repro.entropy.deflate` — the LZ77+Huffman "deflate-style" codec.
+- :mod:`~repro.entropy.rans` — numpy-vectorized interleaved rANS coder.
+- :mod:`~repro.entropy.backend` — pluggable backend registry and the
+  tagged-stream helpers the codecs code through.
 """
 
 from repro.entropy.arithmetic import (
@@ -23,10 +26,24 @@ from repro.entropy.arithmetic import (
     decode_int_sequence,
     encode_int_sequence,
 )
+from repro.entropy.backend import (
+    AdaptiveArithmeticBackend,
+    EntropyBackend,
+    RansBackend,
+    available_backends,
+    backend_for_tag,
+    decode_tagged_ints,
+    decode_tagged_symbols,
+    encode_tagged_ints,
+    encode_tagged_symbols,
+    get_backend,
+    register_backend,
+)
 from repro.entropy.bitio import BitReader, BitWriter
 from repro.entropy.deflate import deflate_compress, deflate_decompress
 from repro.entropy.huffman import huffman_compress, huffman_decompress
 from repro.entropy.lz77 import lz77_compress_tokens, lz77_decompress_tokens
+from repro.entropy.rans import rans_decode, rans_encode
 from repro.entropy.rle import rle_decode, rle_encode
 from repro.entropy.varint import (
     decode_varints,
@@ -36,21 +53,34 @@ from repro.entropy.varint import (
 )
 
 __all__ = [
+    "AdaptiveArithmeticBackend",
     "AdaptiveModel",
     "BitReader",
     "BitWriter",
+    "EntropyBackend",
+    "RansBackend",
     "arithmetic_decode",
     "arithmetic_encode",
+    "available_backends",
+    "backend_for_tag",
     "decode_int_sequence",
+    "decode_tagged_ints",
+    "decode_tagged_symbols",
     "decode_varints",
     "deflate_compress",
     "deflate_decompress",
     "encode_int_sequence",
+    "encode_tagged_ints",
+    "encode_tagged_symbols",
     "encode_varints",
+    "get_backend",
     "huffman_compress",
     "huffman_decompress",
     "lz77_compress_tokens",
     "lz77_decompress_tokens",
+    "rans_decode",
+    "rans_encode",
+    "register_backend",
     "rle_decode",
     "rle_encode",
     "zigzag_decode",

@@ -272,11 +272,20 @@ def arithmetic_decode(
     return out
 
 
+def _int_sequence_checksum(byte_sum: int, n_bytes: int) -> int:
+    """One-byte integrity check over the zigzag-varint byte stream."""
+    return (byte_sum + n_bytes) & 0xFF
+
+
 def encode_int_sequence(values: np.ndarray) -> bytes:
     """Compress arbitrary signed integers: zigzag varint bytes + arithmetic.
 
-    Self-contained: the element count is stored in a varint header, so
-    :func:`decode_int_sequence` needs only the byte string.
+    Self-contained: the element count is stored in a varint header, followed
+    by a one-byte checksum of the varint byte stream, so
+    :func:`decode_int_sequence` needs only the byte string and a truncated
+    payload raises ``ValueError`` instead of decoding plausible garbage
+    (the underlying :class:`~repro.entropy.bitio.BitReader` yields phantom
+    zero bits past end-of-stream, so truncation is otherwise silent).
     """
     arr = np.asarray(values, dtype=np.int64)
     header = bytearray()
@@ -286,6 +295,7 @@ def encode_int_sequence(values: np.ndarray) -> bytes:
     from repro.entropy.varint import encode_varints
 
     byte_stream = encode_varints(arr, signed=True)
+    header.append(_int_sequence_checksum(sum(byte_stream), len(byte_stream)))
     payload = arithmetic_encode(np.frombuffer(byte_stream, dtype=np.uint8), 256)
     return bytes(header) + payload
 
@@ -295,6 +305,10 @@ def decode_int_sequence(data: bytes) -> np.ndarray:
     count, pos = decode_uvarint(data, 0)
     if count == 0:
         return np.empty(0, dtype=np.int64)
+    if pos >= len(data):
+        raise ValueError("truncated int sequence (missing checksum)")
+    checksum = data[pos]
+    pos += 1
     # Varints are self-delimiting: decode bytes until `count` values complete.
     model = AdaptiveModel(256)
     decoder = ArithmeticDecoder(data[pos:])
@@ -302,17 +316,25 @@ def decode_int_sequence(data: bytes) -> np.ndarray:
     done = 0
     current = 0
     shift = 0
+    byte_sum = 0
+    n_bytes = 0
     while done < count:
         byte = decoder.decode_symbol(model)
+        byte_sum += byte
+        n_bytes += 1
         current |= (byte & 0x7F) << shift
         if byte & 0x80:
             shift += 7
-            if shift > 70:
+            if shift > 63:
                 raise ValueError("corrupt varint in arithmetic stream")
         else:
+            if current >> 64:
+                raise ValueError("corrupt varint in arithmetic stream")
             # zigzag decode
             values[done] = (current >> 1) ^ -(current & 1)
             done += 1
             current = 0
             shift = 0
+    if _int_sequence_checksum(byte_sum, n_bytes) != checksum:
+        raise ValueError("truncated or corrupt int sequence (checksum mismatch)")
     return values

@@ -1,0 +1,425 @@
+"""Numpy-vectorized range coder (interleaved rANS) with two model modes.
+
+The adaptive arithmetic coder in :mod:`repro.entropy.arithmetic` is exact
+but pays a Python-level loop per symbol, which dominates DBGC's wall-clock
+on the occupancy / Δφ / ∇L_r streams (Figure 13).  This module provides the
+batched alternative: a two-pass range coder in the rANS family (Duda's
+asymmetric numeral systems) whose inner loops are numpy operations over a
+bank of interleaved coder states — one Python iteration per *row* of lanes
+instead of one per symbol.
+
+Coder geometry (the rans64 layout):
+
+- 64-bit states constrained to ``[2^31, 2^63)``;
+- 12-bit frequency scale (``M = 4096``);
+- 32-bit renormalization words, so each state emits/consumes at most one
+  word per symbol — the property that makes the lane bank vectorizable.
+
+rANS is last-in-first-out: the encoder walks the symbols *backwards* and
+the emitted word stream is reversed, so the decoder streams forwards.  The
+decoder's final state per lane must equal the encoder's initial state
+(``2^31``), which doubles as a free end-of-stream integrity check: a
+truncated or corrupted payload raises ``ValueError`` instead of silently
+decoding garbage.
+
+Probability models.  LiDAR streams are *piecewise* stationary — azimuthal
+deltas are near-constant along a scan line, octree occupancy drifts with
+tree level and local geometry — so a single static histogram loses several
+percent to the adaptive coder.  The encoder therefore picks, by a cheap
+entropy estimate, between two transmitted modes:
+
+- **Semi-static** (mode 0): histogram per block of ``rows_per_block``
+  rows, normalized to the 12-bit scale and transmitted as compact tables.
+  Blocks align with whole rows of the lane bank, so the coder states run
+  straight through block boundaries: a block costs one table and nothing
+  else.  Best when a handful of tables capture the drift (Δφ, Δθ).
+- **Lagged-adaptive** (mode 1): no tables at all — both sides rebuild the
+  model every few rows from the symbols already coded (counts with
+  periodic halving, exact integer normalization), mirroring the adaptive
+  coder's tracking at a ~hundred-symbol lag.  Best when the distribution
+  drifts continuously (occupancy, ∇L_r).
+
+Payload layout (see docs/FORMAT.md)::
+
+    uvarint n_lanes
+    uvarint mode                  (0 = semi-static, 1 = lagged-adaptive)
+    [mode 0] uvarint rows_per_block   (0 = one table for the whole stream)
+             per block:
+               uvarint n_present
+               per present symbol (ascending): uvarint gap, uvarint freq-1
+    n_lanes * u64  final encoder states (the decoder's initial states)
+    uvarint n_words
+    n_words * u32  renormalization words
+
+An empty symbol sequence encodes to ``b""``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.entropy.varint import decode_uvarint, encode_uvarint
+
+__all__ = ["rans_encode", "rans_decode"]
+
+#: Frequency scale bits: normalized frequencies sum to ``1 << _SCALE_BITS``.
+_SCALE_BITS = 12
+_M = 1 << _SCALE_BITS
+
+#: Lower bound of the coder state interval ``[_LOW, _LOW << 32)``.
+_LOW = np.uint64(1 << 31)
+
+#: Lane-count policy: one lane per this many symbols, capped.  More lanes
+#: mean fewer Python-level iterations but 8 bytes of state flush each, so
+#: the cap keeps the header overhead negligible on the hot streams while
+#: the divisor keeps short streams from paying for unused lanes.
+_LANE_DIV = 1024
+_MAX_LANES = 64
+
+_MODE_STATIC = 0
+_MODE_ADAPTIVE = 1
+
+#: Candidate block sizes (symbols) for the semi-static per-block tables;
+#: the encoder also always considers a single whole-stream table.
+_BLOCK_CANDIDATES = (1024, 2048, 4096, 8192)
+
+#: Lagged-adaptive model: rebuild every ``_ADAPT_PERIOD`` symbols (rounded
+#: to whole rows); halve the counts when they reach ``_ADAPT_CAP`` so the
+#: model tracks drift like the arithmetic coder's increment/max_total.
+_ADAPT_PERIOD = 64
+_ADAPT_CAP = 512
+#: Streams shorter than this skip the lagged-adaptive candidate: the
+#: uniform-model warmup dominates before the model has learned anything.
+_ADAPT_MIN = 2048
+
+_U32_MASK = np.uint64(0xFFFFFFFF)
+_SLOT_MASK = np.uint64(_M - 1)
+_SHIFT_32 = np.uint64(32)
+_SHIFT_SCALE = np.uint64(_SCALE_BITS)
+#: Encoder renorm threshold is ``freq << 51``: ``(_LOW >> _SCALE_BITS) << 32``.
+_SHIFT_XMAX = np.uint64(31 - _SCALE_BITS + 32)
+
+
+def _default_lanes(count: int) -> int:
+    return max(1, min(_MAX_LANES, count // _LANE_DIV))
+
+
+def _normalize_freqs(counts: np.ndarray) -> np.ndarray:
+    """Scale raw counts to frequencies summing to ``_M``, all present >= 1."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    present = np.flatnonzero(counts)
+    if len(present) > _M:
+        raise ValueError(
+            f"alphabet has {len(present)} distinct symbols; rANS scale "
+            f"supports at most {_M}"
+        )
+    freq = np.zeros_like(counts)
+    freq[present] = np.maximum(counts[present] * _M // total, 1)
+    drift = int(freq.sum()) - _M
+    if drift:
+        # Settle the rounding drift on the most frequent symbols, never
+        # driving a present frequency below 1.
+        order = present[np.argsort(counts[present], kind="stable")[::-1]]
+        if drift < 0:
+            freq[order[0]] -= drift
+        else:
+            i = 0
+            while drift > 0:
+                s = order[i % len(order)]
+                take = min(int(freq[s]) - 1, drift)
+                freq[s] -= take
+                drift -= take
+                i += 1
+    return freq
+
+
+def _smoothed_model(counts: np.ndarray, num_symbols: int) -> np.ndarray:
+    """Exact integer normalization with a uniform floor (vectorized).
+
+    ``cum[s] = s + (M - A) * C[s] // T`` is strictly increasing, so every
+    symbol gets frequency >= 1 and the total is exactly ``_M`` — no
+    drift-settling loop, and bit-identical on encoder and decoder.
+    """
+    cum = np.zeros(num_symbols + 1, dtype=np.int64)
+    np.cumsum(counts, out=cum[1:])
+    total = max(int(cum[-1]), 1)
+    return np.arange(num_symbols + 1, dtype=np.int64) + (
+        (_M - num_symbols) * cum
+    ) // total
+
+
+def _write_freq_table(freq: np.ndarray, out: bytearray) -> None:
+    present = np.flatnonzero(freq)
+    encode_uvarint(len(present), out)
+    prev = -1
+    for s in present.tolist():
+        encode_uvarint(s - prev - 1, out)
+        encode_uvarint(int(freq[s]) - 1, out)
+        prev = s
+
+
+def _block_cost_estimate(arr: np.ndarray, num_symbols: int, block: int) -> float:
+    """Approximate coded bytes with one frequency table per ``block`` symbols."""
+    n = arr.size
+    total = 0.0
+    for lo in range(0, n, block):
+        chunk = arr[lo : lo + block]
+        counts = np.bincount(chunk, minlength=num_symbols)
+        nz = counts[counts > 0]
+        p = nz / chunk.size
+        total += float(-(p * np.log2(p)).sum()) * chunk.size / 8.0
+        # Table estimate: gap varint (~1 byte) + freq varint, sized from the
+        # proportional frequency each count would normalize to.
+        f = np.maximum(nz * _M // chunk.size, 1)
+        total += 1.0 + float((2.0 + (f > 128)).sum())
+    return total
+
+
+def _choose_block_rows(
+    arr: np.ndarray, num_symbols: int, lanes: int
+) -> tuple[int, float]:
+    """Best ``rows_per_block`` (0 = single table) by the entropy estimate."""
+    n = arr.size
+    best_rows, best_cost = 0, _block_cost_estimate(arr, num_symbols, n)
+    for block in _BLOCK_CANDIDATES:
+        if block >= n:
+            continue
+        rows = max(1, block // lanes)
+        cost = _block_cost_estimate(arr, num_symbols, rows * lanes)
+        if cost < best_cost:
+            best_rows, best_cost = rows, cost
+    return best_rows, best_cost
+
+
+def _adaptive_sweep(
+    arr: np.ndarray, num_symbols: int, lanes: int
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Forward pass of the lagged-adaptive model.
+
+    Returns the per-position ``(freq, cum)`` lookups the backward coding
+    loop needs, plus the exact model cost in bytes (for mode selection).
+    """
+    n = arr.size
+    period = max(1, _ADAPT_PERIOD // lanes) * lanes
+    pos_freq = np.empty(n, dtype=np.uint64)
+    pos_cum = np.empty(n, dtype=np.uint64)
+    counts = np.zeros(num_symbols, dtype=np.int64)
+    for lo in range(0, n, period):
+        chunk = arr[lo : lo + period]
+        g = _smoothed_model(counts, num_symbols)
+        pos_freq[lo : lo + chunk.size] = np.diff(g)[chunk].astype(np.uint64)
+        pos_cum[lo : lo + chunk.size] = g[chunk].astype(np.uint64)
+        counts += np.bincount(chunk, minlength=num_symbols)
+        if int(counts.sum()) >= _ADAPT_CAP:
+            counts >>= 1
+    bits = float(-np.log2(pos_freq.astype(np.float64) / _M).sum())
+    return pos_freq, pos_cum, bits / 8.0
+
+
+def rans_encode(
+    symbols: np.ndarray,
+    num_symbols: int,
+    n_lanes: int | None = None,
+    mode: int | None = None,
+    rows_per_block: int | None = None,
+) -> bytes:
+    """Encode a symbol sequence; inverse is :func:`rans_decode`.
+
+    ``mode``/``rows_per_block`` override the automatic model selection
+    (see the module docstring); both default to the encoder's choice by
+    entropy estimate.
+    """
+    if num_symbols < 1:
+        raise ValueError(f"need at least one symbol, got {num_symbols}")
+    arr = np.ascontiguousarray(symbols, dtype=np.int64).ravel()
+    n = arr.size
+    if n == 0:
+        return b""
+    if arr.min() < 0 or arr.max() >= num_symbols:
+        raise ValueError("symbol out of alphabet range")
+
+    lanes = _default_lanes(n) if n_lanes is None else max(1, min(int(n_lanes), n))
+    rows = -(-n // lanes)
+    rem = n - (rows - 1) * lanes
+
+    # -- model selection and per-position (freq, cum) materialization -----------
+    rpb = None
+    if mode is None:
+        rpb, static_cost = _choose_block_rows(arr, num_symbols, lanes)
+        if n >= _ADAPT_MIN:
+            pos_freq, pos_cum, adaptive_cost = _adaptive_sweep(
+                arr, num_symbols, lanes
+            )
+            mode = _MODE_ADAPTIVE if adaptive_cost < static_cost else _MODE_STATIC
+        else:
+            mode = _MODE_STATIC
+    elif mode == _MODE_ADAPTIVE:
+        pos_freq, pos_cum, _ = _adaptive_sweep(arr, num_symbols, lanes)
+    elif mode != _MODE_STATIC:
+        raise ValueError(f"unknown rANS mode {mode}")
+
+    tables = bytearray()
+    if mode == _MODE_STATIC:
+        if rpb is None:
+            rpb = (
+                max(0, int(rows_per_block))
+                if rows_per_block is not None
+                else _choose_block_rows(arr, num_symbols, lanes)[0]
+            )
+        if rows_per_block is not None:
+            rpb = max(0, int(rows_per_block))
+        if rpb >= rows:
+            rpb = 0
+        block_sym = rpb * lanes
+        starts = list(range(0, n, block_sym)) if rpb else [0]
+        pos_freq = np.empty(n, dtype=np.uint64)
+        pos_cum = np.empty(n, dtype=np.uint64)
+        for lo in starts:
+            chunk = arr[lo : lo + block_sym] if rpb else arr
+            freq = _normalize_freqs(np.bincount(chunk, minlength=num_symbols))
+            cum = np.zeros(num_symbols + 1, dtype=np.int64)
+            np.cumsum(freq, out=cum[1:])
+            pos_freq[lo : lo + chunk.size] = freq[chunk].astype(np.uint64)
+            pos_cum[lo : lo + chunk.size] = cum[chunk].astype(np.uint64)
+            _write_freq_table(freq, tables)
+    pos_xmax = pos_freq << _SHIFT_XMAX
+
+    # -- backward coding over the lane bank --------------------------------------
+    x = np.full(lanes, _LOW, dtype=np.uint64)
+    scale = np.uint64(_M)
+    chunks: list[np.ndarray] = []
+    # LIFO: walk rows back to front; the partial row (if any) goes first.
+    for r in range(rows - 1, -1, -1):
+        k = rem if r == rows - 1 else lanes
+        lo = r * lanes
+        f = pos_freq[lo : lo + k]
+        xs = x[:k]
+        msk = xs >= pos_xmax[lo : lo + k]
+        if msk.any():
+            # Reversed within the row so the global reversal below leaves
+            # each row's words in ascending lane order for the decoder.
+            chunks.append((xs[msk] & _U32_MASK).astype(np.uint32)[::-1])
+            xs[msk] >>= _SHIFT_32
+        x[:k] = (xs // f) * scale + (xs % f) + pos_cum[lo : lo + k]
+
+    words = (
+        np.concatenate(chunks)[::-1] if chunks else np.empty(0, dtype=np.uint32)
+    )
+
+    out = bytearray()
+    encode_uvarint(lanes, out)
+    encode_uvarint(mode, out)
+    if mode == _MODE_STATIC:
+        encode_uvarint(rpb, out)
+        out += tables
+    out += x.astype("<u8").tobytes()
+    encode_uvarint(len(words), out)
+    out += words.astype("<u4").tobytes()
+    return bytes(out)
+
+
+def _read_freq_table(
+    data: bytes, pos: int, num_symbols: int
+) -> tuple[np.ndarray, int]:
+    n_present, pos = decode_uvarint(data, pos)
+    freq = np.zeros(num_symbols, dtype=np.int64)
+    s = -1
+    for _ in range(n_present):
+        gap, pos = decode_uvarint(data, pos)
+        f_minus_1, pos = decode_uvarint(data, pos)
+        s += gap + 1
+        if s >= num_symbols:
+            raise ValueError("rANS frequency table exceeds alphabet")
+        freq[s] = f_minus_1 + 1
+    if int(freq.sum()) != _M:
+        raise ValueError("corrupt rANS frequency table")
+    return freq, pos
+
+
+def rans_decode(data: bytes, count: int, num_symbols: int) -> np.ndarray:
+    """Decode ``count`` symbols produced by :func:`rans_encode`.
+
+    Raises ``ValueError`` on truncated or corrupted payloads: the word
+    stream must be consumed exactly and every lane must land back on the
+    encoder's initial state.
+    """
+    if num_symbols < 1:
+        raise ValueError(f"need at least one symbol, got {num_symbols}")
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    lanes, pos = decode_uvarint(data, 0)
+    if not 1 <= lanes <= count:
+        raise ValueError(f"invalid rANS lane count {lanes}")
+    rows = -(-count // lanes)
+    rem = count - (rows - 1) * lanes
+    mode, pos = decode_uvarint(data, pos)
+
+    if mode == _MODE_STATIC:
+        rpb, pos = decode_uvarint(data, pos)
+        if rpb >= rows:
+            raise ValueError(f"invalid rANS block size {rpb}")
+        n_blocks = -(-rows // rpb) if rpb else 1
+        freq_t = np.empty((n_blocks, num_symbols), dtype=np.uint64)
+        cum_t = np.empty((n_blocks, num_symbols), dtype=np.uint64)
+        slot_t = np.empty((n_blocks, _M), dtype=np.int64)
+        for b in range(n_blocks):
+            freq, pos = _read_freq_table(data, pos, num_symbols)
+            freq_t[b] = freq.astype(np.uint64)
+            cum_t[b] = np.cumsum(freq, dtype=np.int64) - freq
+            slot_t[b] = np.repeat(np.arange(num_symbols, dtype=np.int64), freq)
+    elif mode == _MODE_ADAPTIVE:
+        period_rows = max(1, _ADAPT_PERIOD // lanes)
+        counts = np.zeros(num_symbols, dtype=np.int64)
+    else:
+        raise ValueError(f"unknown rANS mode {mode}")
+
+    if len(data) < pos + 8 * lanes:
+        raise ValueError("truncated rANS state block")
+    x = np.frombuffer(data, dtype="<u8", count=lanes, offset=pos).astype(np.uint64)
+    pos += 8 * lanes
+    if (x < _LOW).any() or (x >> np.uint64(63)).any():
+        raise ValueError("rANS state out of range")
+    n_words, pos = decode_uvarint(data, pos)
+    if len(data) < pos + 4 * n_words:
+        raise ValueError("truncated rANS word stream")
+    words = np.frombuffer(data, dtype="<u4", count=n_words, offset=pos).astype(
+        np.uint64
+    )
+
+    out = np.empty(count, dtype=np.int64)
+    ptr = 0
+    freq_cur = cum_cur = slot_cur = None
+    for r in range(rows):
+        k = rem if r == rows - 1 else lanes
+        if mode == _MODE_STATIC:
+            b = r // rpb if rpb else 0
+            freq_cur, cum_cur, slot_cur = freq_t[b], cum_t[b], slot_t[b]
+        elif r % period_rows == 0:
+            if r:
+                # Fold the just-decoded period into the lagged model.
+                decoded = out[(r - period_rows) * lanes : r * lanes]
+                counts += np.bincount(decoded, minlength=num_symbols)
+                if int(counts.sum()) >= _ADAPT_CAP:
+                    counts >>= 1
+            g = _smoothed_model(counts, num_symbols)
+            freq = np.diff(g)
+            freq_cur = freq.astype(np.uint64)
+            cum_cur = g[:-1].astype(np.uint64)
+            slot_cur = np.repeat(np.arange(num_symbols, dtype=np.int64), freq)
+        xs = x[:k]
+        slot = xs & _SLOT_MASK
+        s = slot_cur[slot]
+        out[r * lanes : r * lanes + k] = s
+        xs = freq_cur[s] * (xs >> _SHIFT_SCALE) + slot - cum_cur[s]
+        msk = xs < _LOW
+        refill = int(msk.sum())
+        if refill:
+            if ptr + refill > n_words:
+                raise ValueError("truncated rANS stream")
+            xs[msk] = (xs[msk] << _SHIFT_32) | words[ptr : ptr + refill]
+            ptr += refill
+        x[:k] = xs
+    if ptr != n_words or not (x == _LOW).all():
+        raise ValueError("corrupt rANS stream (bad final state)")
+    return out

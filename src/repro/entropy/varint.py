@@ -60,8 +60,12 @@ def zigzag_decode(values: np.ndarray) -> np.ndarray:
     return ((v >> np.uint64(1)).astype(np.int64)) ^ -(v & np.uint64(1)).astype(np.int64)
 
 
+#: ``_LEN_THRESHOLDS[k]`` is the smallest value needing ``k + 2`` bytes.
+_LEN_THRESHOLDS = (np.uint64(1) << (np.uint64(7) * np.arange(1, 10, dtype=np.uint64)))
+
+
 def encode_varints(values: Iterable[int] | np.ndarray, signed: bool = True) -> bytes:
-    """Encode an integer sequence as concatenated varints.
+    """Encode an integer sequence as concatenated varints (vectorized).
 
     ``signed=True`` zigzag-maps first so small negative values stay short.
     """
@@ -70,19 +74,39 @@ def encode_varints(values: Iterable[int] | np.ndarray, signed: bool = True) -> b
         return b""
     arr = arr.astype(np.int64)
     u = zigzag_encode(arr) if signed else arr.astype(np.uint64)
-    out = bytearray()
-    for value in u.tolist():
-        encode_uvarint(int(value), out)
-    return bytes(out)
+    lengths = 1 + (u[:, None] >= _LEN_THRESHOLDS).sum(axis=1)
+    total = int(lengths.sum())
+    starts = np.zeros(arr.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=starts[1:])
+    value_idx = np.repeat(np.arange(arr.size), lengths)
+    byte_off = (np.arange(total) - np.repeat(starts, lengths)).astype(np.uint64)
+    chunks = ((u[value_idx] >> (np.uint64(7) * byte_off)) & np.uint64(0x7F)).astype(
+        np.uint8
+    )
+    chunks[byte_off < (lengths[value_idx] - 1).astype(np.uint64)] |= 0x80
+    return chunks.tobytes()
 
 
 def decode_varints(data: bytes, count: int, signed: bool = True) -> np.ndarray:
-    """Decode ``count`` varints; inverse of :func:`encode_varints`."""
-    values = np.empty(count, dtype=np.uint64)
-    pos = 0
-    for i in range(count):
-        value, pos = decode_uvarint(data, pos)
-        values[i] = value
+    """Decode ``count`` varints; inverse of :func:`encode_varints` (vectorized)."""
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    raw = np.frombuffer(data, dtype=np.uint8)
+    terminators = np.flatnonzero((raw & 0x80) == 0)
+    if len(terminators) < count:
+        raise ValueError("truncated varint")
+    terminators = terminators[:count]
+    end = int(terminators[-1]) + 1
+    raw = raw[:end]
+    starts = np.zeros(count, dtype=np.int64)
+    starts[1:] = terminators[:-1] + 1
+    if int((terminators - starts).max()) + 1 > 10:
+        raise ValueError("varint too long")
+    byte_off = (np.arange(end) - np.repeat(starts, terminators - starts + 1)).astype(
+        np.uint64
+    )
+    contrib = (raw.astype(np.uint64) & np.uint64(0x7F)) << (np.uint64(7) * byte_off)
+    values = np.add.reduceat(contrib, starts)
     if signed:
         return zigzag_decode(values)
     return values.astype(np.int64)

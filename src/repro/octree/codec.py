@@ -5,14 +5,20 @@ baseline applies it to whole clouds.  The leaf cell side is ``2 * q_xyz`` so
 snapping every point to its leaf center keeps the per-dimension error within
 the bound (Section 4.2 of the paper).
 
-Stream layout::
+Stream layout (format version 2)::
 
     uvarint n_points
     [if n_points > 0]
       float64 origin_x, origin_y, origin_z, leaf_side   (little-endian)
       uvarint depth
-      uvarint len(occupancy_payload); occupancy_payload (arithmetic-coded)
-      counts_payload (self-contained int sequence of per-leaf counts - 1)
+      uvarint n_occupancy                               (total occupancy bytes)
+      uvarint len(occupancy_stream); occupancy_stream   (tagged, alphabet 256)
+      counts_stream (tagged int sequence of per-leaf counts - 1)
+
+The occupancy bytes of all levels travel as one flat entropy stream
+(breadth-first, level after level), so the decoder can batch-decode them
+with whichever backend the tag names before expanding the tree —
+the property the vectorized rANS backend needs to pay off.
 
 Per-leaf point counts preserve the one-to-one mapping the problem statement
 requires (duplicated points are not merged — the analogue of disabling
@@ -25,12 +31,14 @@ import struct
 
 import numpy as np
 
-from repro.entropy.arithmetic import (
-    AdaptiveModel,
-    ArithmeticDecoder,
-    ArithmeticEncoder,
-    decode_int_sequence,
-    encode_int_sequence,
+from repro.entropy.backend import (
+    AdaptiveArithmeticBackend,
+    EntropyBackend,
+    decode_tagged_ints,
+    decode_tagged_symbols,
+    encode_tagged_ints,
+    encode_tagged_symbols,
+    get_backend,
 )
 from repro.entropy.varint import decode_uvarint, encode_uvarint
 from repro.geometry.bbox import BoundingCube
@@ -51,15 +59,32 @@ class OctreeCodec:
         Side length of leaf cells; ``2 * q_xyz`` meets an error bound of
         ``q_xyz`` per dimension.
     increment, max_total:
-        Adaptivity parameters of the occupancy-byte arithmetic model.
+        Adaptivity parameters of the occupancy-byte arithmetic model (used
+        when the adaptive backend is selected).
+    backend:
+        Entropy backend (registry name or instance) for the occupancy and
+        count streams.  Decoding follows the stream tags, so any codec
+        instance decodes payloads from any backend.
     """
 
-    def __init__(self, leaf_side: float, increment: int = 32, max_total: int = 1 << 16):
+    def __init__(
+        self,
+        leaf_side: float,
+        increment: int = 32,
+        max_total: int = 1 << 16,
+        backend: str | EntropyBackend = "adaptive-arith",
+    ):
         if leaf_side <= 0:
             raise ValueError(f"leaf_side must be positive, got {leaf_side}")
         self.leaf_side = float(leaf_side)
         self.increment = increment
         self.max_total = max_total
+        if backend == "adaptive-arith":
+            self.backend: EntropyBackend = AdaptiveArithmeticBackend(
+                increment=increment, max_total=max_total
+            )
+        else:
+            self.backend = get_backend(backend)
 
     # -- helpers ---------------------------------------------------------------
 
@@ -90,19 +115,13 @@ class OctreeCodec:
         out += _HEADER.pack(*cube.origin, self.leaf_side)
         encode_uvarint(depth, out)
         occupancy = structure.occupancy_stream()
-        payload = self._encode_occupancy(occupancy)
-        encode_uvarint(len(payload), out)
-        out += payload
-        out += encode_int_sequence(structure.leaf_counts - 1)
+        encode_uvarint(occupancy.size, out)
+        if occupancy.size:
+            payload = encode_tagged_symbols(occupancy, 256, self.backend)
+            encode_uvarint(len(payload), out)
+            out += payload
+        out += encode_tagged_ints(structure.leaf_counts - 1, self.backend)
         return bytes(out)
-
-    def _encode_occupancy(self, occupancy: np.ndarray) -> bytes:
-        model = AdaptiveModel(256, increment=self.increment, max_total=self.max_total)
-        encoder = ArithmeticEncoder()
-        encode_one = encoder.encode_symbol
-        for byte in occupancy.tolist():
-            encode_one(model, byte)
-        return encoder.finish()
 
     # -- decoding ----------------------------------------------------------------
 
@@ -114,10 +133,17 @@ class OctreeCodec:
         ox, oy, oz, leaf_side = _HEADER.unpack_from(data, pos)
         pos += _HEADER.size
         depth, pos = decode_uvarint(data, pos)
-        payload_len, pos = decode_uvarint(data, pos)
-        leaf_codes = self._decode_occupancy(data[pos : pos + payload_len], depth)
-        pos += payload_len
-        counts = decode_int_sequence(data[pos:]) + 1
+        n_occupancy, pos = decode_uvarint(data, pos)
+        if n_occupancy:
+            payload_len, pos = decode_uvarint(data, pos)
+            occupancy = decode_tagged_symbols(
+                data[pos : pos + payload_len], n_occupancy, 256, self.backend
+            )
+            pos += payload_len
+        else:
+            occupancy = np.empty(0, dtype=np.int64)
+        leaf_codes = self._expand_occupancy(occupancy, depth)
+        counts = decode_tagged_ints(data[pos:], self.backend) + 1
         if counts.size != leaf_codes.size:
             raise ValueError("leaf count stream does not match occupancy tree")
         ix, iy, iz = deinterleave3(leaf_codes)
@@ -130,20 +156,19 @@ class OctreeCodec:
         )
         return np.repeat(centers, counts, axis=0)
 
-    def _decode_occupancy(self, payload: bytes, depth: int) -> np.ndarray:
+    @staticmethod
+    def _expand_occupancy(occupancy: np.ndarray, depth: int) -> np.ndarray:
+        """Rebuild the leaf Morton codes from the flat occupancy stream."""
         nodes = np.zeros(1, dtype=np.int64)
-        if depth == 0:
-            return nodes
-        model = AdaptiveModel(256, increment=self.increment, max_total=self.max_total)
-        decoder = ArithmeticDecoder(payload)
-        decode_one = decoder.decode_symbol
+        offset = 0
         for _ in range(depth):
-            occupancy = np.fromiter(
-                (decode_one(model) for _ in range(len(nodes))),
-                dtype=np.uint8,
-                count=len(nodes),
-            )
-            nodes = expand_occupancy_level(nodes, occupancy)
+            level = occupancy[offset : offset + len(nodes)]
+            if level.size != len(nodes):
+                raise ValueError("occupancy stream shorter than the tree")
+            offset += len(nodes)
+            nodes = expand_occupancy_level(nodes, level.astype(np.uint8))
+        if offset != occupancy.size:
+            raise ValueError("occupancy stream longer than the tree")
         return nodes
 
     # -- correspondence -----------------------------------------------------------

@@ -15,12 +15,14 @@ import struct
 
 import numpy as np
 
-from repro.entropy.arithmetic import (
-    AdaptiveModel,
-    ArithmeticDecoder,
-    ArithmeticEncoder,
-    decode_int_sequence,
-    encode_int_sequence,
+from repro.entropy.backend import (
+    AdaptiveArithmeticBackend,
+    EntropyBackend,
+    decode_tagged_ints,
+    decode_tagged_symbols,
+    encode_tagged_ints,
+    encode_tagged_symbols,
+    get_backend,
 )
 from repro.entropy.varint import decode_uvarint, encode_uvarint
 from repro.octree.morton import MAX_DEPTH_2D, deinterleave2, interleave2
@@ -39,12 +41,24 @@ def _expand_level(node_codes: np.ndarray, occupancy: np.ndarray) -> np.ndarray:
 class QuadtreeCodec:
     """Quadtree codec over ``(x, y)`` with fixed leaf cell side."""
 
-    def __init__(self, leaf_side: float, increment: int = 32, max_total: int = 1 << 16):
+    def __init__(
+        self,
+        leaf_side: float,
+        increment: int = 32,
+        max_total: int = 1 << 16,
+        backend: str | EntropyBackend = "adaptive-arith",
+    ):
         if leaf_side <= 0:
             raise ValueError(f"leaf_side must be positive, got {leaf_side}")
         self.leaf_side = float(leaf_side)
         self.increment = increment
         self.max_total = max_total
+        if backend == "adaptive-arith":
+            self.backend: EntropyBackend = AdaptiveArithmeticBackend(
+                increment=increment, max_total=max_total
+            )
+        else:
+            self.backend = get_backend(backend)
 
     def _quantize(self, xy: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
         lo = xy.min(axis=0)
@@ -88,14 +102,12 @@ class QuadtreeCodec:
         occupancy = (
             np.concatenate(occupancy_chunks) if occupancy_chunks else np.empty(0, np.uint8)
         )
-        model = AdaptiveModel(16, increment=self.increment, max_total=self.max_total)
-        encoder = ArithmeticEncoder()
-        for byte in occupancy.tolist():
-            encoder.encode_symbol(model, byte)
-        payload = encoder.finish()
-        encode_uvarint(len(payload), out)
-        out += payload
-        out += encode_int_sequence(counts - 1)
+        encode_uvarint(occupancy.size, out)
+        if occupancy.size:
+            payload = encode_tagged_symbols(occupancy, 16, self.backend)
+            encode_uvarint(len(payload), out)
+            out += payload
+        out += encode_tagged_ints(counts - 1, self.backend)
         return bytes(out)
 
     def decode(self, data: bytes) -> np.ndarray:
@@ -106,20 +118,26 @@ class QuadtreeCodec:
         ox, oy, leaf_side = _HEADER.unpack_from(data, pos)
         pos += _HEADER.size
         depth, pos = decode_uvarint(data, pos)
-        payload_len, pos = decode_uvarint(data, pos)
+        n_occupancy, pos = decode_uvarint(data, pos)
+        if n_occupancy:
+            payload_len, pos = decode_uvarint(data, pos)
+            occupancy = decode_tagged_symbols(
+                data[pos : pos + payload_len], n_occupancy, 16, self.backend
+            )
+            pos += payload_len
+        else:
+            occupancy = np.empty(0, dtype=np.int64)
         nodes = np.zeros(1, dtype=np.int64)
-        if depth > 0:
-            model = AdaptiveModel(16, increment=self.increment, max_total=self.max_total)
-            decoder = ArithmeticDecoder(data[pos : pos + payload_len])
-            for _ in range(depth):
-                occupancy = np.fromiter(
-                    (decoder.decode_symbol(model) for _ in range(len(nodes))),
-                    dtype=np.uint8,
-                    count=len(nodes),
-                )
-                nodes = _expand_level(nodes, occupancy)
-        pos += payload_len
-        counts = decode_int_sequence(data[pos:]) + 1
+        offset = 0
+        for _ in range(depth):
+            level = occupancy[offset : offset + len(nodes)]
+            if level.size != len(nodes):
+                raise ValueError("occupancy stream shorter than the tree")
+            offset += len(nodes)
+            nodes = _expand_level(nodes, level.astype(np.uint8))
+        if offset != occupancy.size:
+            raise ValueError("occupancy stream longer than the tree")
+        counts = decode_tagged_ints(data[pos:], self.backend) + 1
         if counts.size != nodes.size:
             raise ValueError("leaf count stream does not match quadtree")
         ix, iy = deinterleave2(nodes)

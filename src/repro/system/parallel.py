@@ -10,15 +10,22 @@ compressor's.
 
 from __future__ import annotations
 
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Iterator
 
+import numpy as np
+
+from repro.core.attributes import DEFAULT_ATTRIBUTE_STEP
 from repro.core.params import DBGCParams
 from repro.core.pipeline import DBGCCompressor
 from repro.datasets.sensors import SensorModel
 from repro.geometry.points import PointCloud
 
 __all__ = ["ParallelFrameCompressor"]
+
+#: A work item: a bare frame, or a frame with its per-point attributes.
+Frame = PointCloud | tuple[PointCloud, dict[str, np.ndarray]]
 
 # Module-level worker state: built once per worker process.
 _WORKER_COMPRESSOR: DBGCCompressor | None = None
@@ -29,9 +36,11 @@ def _init_worker(params: DBGCParams, sensor: SensorModel) -> None:
     _WORKER_COMPRESSOR = DBGCCompressor(params, sensor=sensor)
 
 
-def _compress_one(xyz) -> bytes:
+def _compress_one(xyz, attributes, attribute_steps) -> bytes:
     assert _WORKER_COMPRESSOR is not None, "worker not initialized"
-    return _WORKER_COMPRESSOR.compress(PointCloud(xyz))
+    return _WORKER_COMPRESSOR.compress(
+        PointCloud(xyz), attributes, attribute_steps
+    )
 
 
 class ParallelFrameCompressor:
@@ -46,6 +55,11 @@ class ParallelFrameCompressor:
     Results come back in input order.  Worker processes each hold one
     :class:`DBGCCompressor`, so per-frame overhead is pickling the
     coordinate array in and the payload out.
+
+    ``compress_stream`` pulls frames *lazily*: at most ``2 * workers``
+    frames are in flight or buffered at any moment, so an unbounded
+    source — a live sensor feed — streams in constant memory instead of
+    being drained upfront.
     """
 
     def __init__(
@@ -77,13 +91,52 @@ class ParallelFrameCompressor:
             self._pool.shutdown(wait=True)
             self._pool = None
 
-    def compress_stream(self, frames: Iterable[PointCloud]) -> Iterator[bytes]:
-        """Yield payloads in frame order, compressing up to ``workers`` at once."""
+    def compress_stream(
+        self,
+        frames: Iterable[Frame],
+        attribute_steps: dict[str, float] | float = DEFAULT_ATTRIBUTE_STEP,
+    ) -> Iterator[bytes]:
+        """Yield payloads in frame order, compressing up to ``workers`` at once.
+
+        Each frame is a :class:`PointCloud` or a ``(cloud, attributes)``
+        pair; attributes are forwarded to the per-worker compressor, so
+        payloads match the serial :meth:`DBGCCompressor.compress` exactly.
+        """
         if self._pool is None:
             raise RuntimeError("use ParallelFrameCompressor as a context manager")
-        arrays = (frame.xyz for frame in frames)
-        yield from self._pool.map(_compress_one, arrays)
+        pool = self._pool
+        source = iter(frames)
+        # Bounded in-flight window: enough to keep every worker busy while
+        # results are drained in order, without eagerly consuming the
+        # (possibly infinite) frame iterable.
+        window = 2 * self.workers
+        pending: deque = deque()
 
-    def compress_all(self, frames: Iterable[PointCloud]) -> list[bytes]:
+        def submit_next() -> bool:
+            try:
+                item = next(source)
+            except StopIteration:
+                return False
+            if isinstance(item, tuple):
+                frame, attributes = item
+            else:
+                frame, attributes = item, None
+            pending.append(
+                pool.submit(_compress_one, frame.xyz, attributes, attribute_steps)
+            )
+            return True
+
+        while len(pending) < window and submit_next():
+            pass
+        while pending:
+            payload = pending.popleft().result()
+            submit_next()
+            yield payload
+
+    def compress_all(
+        self,
+        frames: Iterable[Frame],
+        attribute_steps: dict[str, float] | float = DEFAULT_ATTRIBUTE_STEP,
+    ) -> list[bytes]:
         """Compress a frame list and return all payloads (input order)."""
-        return list(self.compress_stream(frames))
+        return list(self.compress_stream(frames, attribute_steps))

@@ -133,3 +133,18 @@ class TestIntSequenceCodec:
     def test_roundtrip_property(self, values):
         arr = np.array(values, dtype=np.int64)
         assert np.array_equal(decode_int_sequence(encode_int_sequence(arr)), arr)
+
+    def test_truncated_payload_raises(self):
+        # Regression: a truncated int-sequence stream used to decode to
+        # garbage values silently; the trailing checksum byte must catch it.
+        rng = np.random.default_rng(0)
+        data = encode_int_sequence(rng.integers(-500, 500, size=300))
+        for cut in (len(data) - 1, len(data) // 2, 3):
+            with pytest.raises(ValueError):
+                decode_int_sequence(data[:cut])
+
+    def test_corrupted_payload_raises(self):
+        data = bytearray(encode_int_sequence(np.arange(-50, 50)))
+        data[len(data) // 2] ^= 0xFF
+        with pytest.raises(ValueError):
+            decode_int_sequence(bytes(data))

@@ -1,0 +1,225 @@
+"""Tests for the entropy-backend registry and the vectorized rANS coder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DBGCCompressor, DBGCDecompressor, DBGCParams
+from repro.core.container import unpack_container
+from repro.entropy.backend import (
+    AdaptiveArithmeticBackend,
+    RansBackend,
+    available_backends,
+    backend_for_tag,
+    decode_tagged_ints,
+    decode_tagged_symbols,
+    encode_tagged_ints,
+    encode_tagged_symbols,
+    get_backend,
+    register_backend,
+)
+from repro.entropy.rans import rans_decode, rans_encode
+from repro.geometry.points import PointCloud
+
+BACKEND_NAMES = ("adaptive-arith", "rans")
+
+
+class TestRansCodec:
+    def test_empty(self):
+        assert rans_encode(np.array([], dtype=np.int64), 4) == b""
+        assert rans_decode(b"", 0, 4).size == 0
+
+    @pytest.mark.parametrize("mode", [None, 0, 1])
+    def test_roundtrip_modes(self, mode):
+        rng = np.random.default_rng(0)
+        symbols = rng.geometric(0.3, size=20000) % 16
+        data = rans_encode(symbols, 16, mode=mode)
+        assert np.array_equal(rans_decode(data, symbols.size, 16), symbols)
+
+    def test_roundtrip_single_point(self):
+        data = rans_encode(np.array([3]), 10)
+        assert np.array_equal(rans_decode(data, 1, 10), [3])
+
+    def test_roundtrip_single_symbol_alphabet_degenerate(self):
+        symbols = np.zeros(5000, dtype=np.int64)
+        data = rans_encode(symbols, 1)
+        assert np.array_equal(rans_decode(data, 5000, 1), symbols)
+
+    def test_roundtrip_lane_boundaries(self):
+        # Exercise the partial last row for every residue class around the
+        # lane-count divisor.
+        rng = np.random.default_rng(1)
+        for n in (1023, 1024, 1025, 2048, 2049):
+            symbols = rng.integers(0, 8, size=n)
+            data = rans_encode(symbols, 8, n_lanes=7)
+            assert np.array_equal(rans_decode(data, n, 8), symbols)
+
+    def test_forced_block_tables(self):
+        rng = np.random.default_rng(2)
+        # Drifting distribution: per-block tables should beat one table.
+        symbols = (np.arange(30000) // 3000 + rng.integers(0, 3, 30000)) % 8
+        single = rans_encode(symbols, 8, mode=0, rows_per_block=0)
+        blocked = rans_encode(symbols, 8, mode=0, rows_per_block=32)
+        assert len(blocked) < len(single)
+        for data in (single, blocked):
+            assert np.array_equal(rans_decode(data, symbols.size, 8), symbols)
+
+    def test_truncation_raises(self):
+        rng = np.random.default_rng(3)
+        symbols = rng.integers(0, 256, size=20000)
+        data = rans_encode(symbols, 256)
+        for cut in (1, 5, len(data) // 2, len(data) - 1):
+            with pytest.raises(ValueError):
+                rans_decode(data[:cut], symbols.size, 256)
+
+    def test_rejects_out_of_range_symbols(self):
+        with pytest.raises(ValueError):
+            rans_encode(np.array([4]), 4)
+        with pytest.raises(ValueError):
+            rans_encode(np.array([-1]), 4)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            rans_encode(np.arange(4), 4, mode=7)
+
+    @given(st.lists(st.integers(0, 255), min_size=0, max_size=600))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, raw):
+        symbols = np.array(raw, dtype=np.int64)
+        data = rans_encode(symbols, 256)
+        assert np.array_equal(rans_decode(data, symbols.size, 256), symbols)
+
+
+class TestRegistry:
+    def test_available_backends(self):
+        names = available_backends()
+        assert "adaptive-arith" in names and "rans" in names
+
+    def test_get_backend_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown entropy backend"):
+            get_backend("no-such-coder")
+
+    def test_backend_for_tag_roundtrip(self):
+        for name in BACKEND_NAMES:
+            backend = get_backend(name)
+            assert backend_for_tag(backend.tag) is backend
+
+    def test_backend_for_unknown_tag(self):
+        with pytest.raises(ValueError):
+            backend_for_tag(250)
+
+    def test_register_rejects_conflicts(self):
+        class Impostor(AdaptiveArithmeticBackend):
+            tag = 9
+
+        with pytest.raises(ValueError):
+            register_backend(Impostor())
+
+    def test_params_validate_backend(self):
+        with pytest.raises(ValueError):
+            DBGCParams(entropy_backend="no-such-coder")
+
+
+class TestTaggedStreams:
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_symbols_roundtrip_is_self_describing(self, backend):
+        rng = np.random.default_rng(4)
+        symbols = rng.integers(0, 4, size=3000)
+        data = encode_tagged_symbols(symbols, 4, backend)
+        assert data[0] == get_backend(backend).tag
+        # No backend hint needed: the tag byte selects the decoder.
+        assert np.array_equal(decode_tagged_symbols(data, symbols.size, 4), symbols)
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_ints_roundtrip(self, backend):
+        rng = np.random.default_rng(5)
+        values = rng.integers(-(2**30), 2**30, size=2000)
+        data = encode_tagged_ints(values, backend)
+        assert np.array_equal(decode_tagged_ints(data), values)
+
+    def test_empty_stream_raises(self):
+        with pytest.raises(ValueError):
+            decode_tagged_symbols(b"", 4, 4)
+        with pytest.raises(ValueError):
+            decode_tagged_ints(b"")
+
+    def test_rans_small_stream_fallback(self):
+        backend = RansBackend()
+        small = np.arange(20) % 4
+        data = backend.encode(small, 4)
+        assert data[0] == RansBackend._MODE_ADAPTIVE
+        assert np.array_equal(backend.decode(data, small.size, 4), small)
+        big = np.arange(5000) % 4
+        data = backend.encode(big, 4)
+        assert data[0] == RansBackend._MODE_RANS
+        assert np.array_equal(backend.decode(data, big.size, 4), big)
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    @given(raw=st.lists(st.integers(0, 255), min_size=0, max_size=400))
+    @settings(max_examples=25, deadline=None)
+    def test_occupancy_bytes_roundtrip_exact(self, backend, raw):
+        # Occupancy streams are alphabet-256 byte streams.
+        symbols = np.array(raw, dtype=np.int64)
+        data = encode_tagged_symbols(symbols, 256, backend)
+        assert np.array_equal(
+            decode_tagged_symbols(data, symbols.size, 256), symbols
+        )
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    @given(raw=st.lists(st.integers(-(2**40), 2**40), min_size=0, max_size=300))
+    @settings(max_examples=25, deadline=None)
+    def test_zigzag_delta_roundtrip_exact(self, backend, raw):
+        # The Δθ / Δφ / ∇r delta streams are signed-int sequences.
+        values = np.array(raw, dtype=np.int64)
+        data = encode_tagged_ints(values, backend)
+        assert np.array_equal(decode_tagged_ints(data), values)
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    @given(raw=st.lists(st.integers(0, 3), min_size=0, max_size=500))
+    @settings(max_examples=25, deadline=None)
+    def test_lref_trit_roundtrip_exact(self, backend, raw):
+        # L_ref reference labels ride a 4-symbol alphabet.
+        symbols = np.array(raw, dtype=np.int64)
+        data = encode_tagged_symbols(symbols, 4, backend)
+        assert np.array_equal(
+            decode_tagged_symbols(data, symbols.size, 4), symbols
+        )
+
+
+class TestPipelineBackend:
+    @pytest.fixture(scope="class")
+    def cloud(self):
+        rng = np.random.default_rng(6)
+        n = 4000
+        theta = rng.uniform(-np.pi, np.pi, n)
+        r = rng.uniform(2.0, 40.0, n)
+        z = rng.uniform(-1.5, 1.5, n)
+        return PointCloud(
+            np.column_stack([r * np.cos(theta), r * np.sin(theta), z])
+        )
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_container_roundtrip_within_bound(self, cloud, backend):
+        params = DBGCParams(entropy_backend=backend)
+        result = DBGCCompressor(params).compress_detailed(cloud)
+        decoded = DBGCDecompressor().decompress(result.payload)
+        assert len(decoded) == len(cloud)
+        err = np.linalg.norm(decoded.xyz[result.mapping] - cloud.xyz, axis=1)
+        assert err.max() <= params.q_xyz * np.sqrt(3.0) + 1e-12
+
+    def test_container_header_records_backend(self, cloud):
+        params = DBGCParams(entropy_backend="rans")
+        payload = DBGCCompressor(params).compress(cloud)
+        header, *_ = unpack_container(payload)
+        assert header.entropy_backend == "rans"
+        assert header.to_params().entropy_backend == "rans"
+
+    def test_cross_backend_decode(self, cloud):
+        # A decompressor never needs to know the encoding backend: every
+        # stream carries its own tag.
+        for backend in BACKEND_NAMES:
+            payload = DBGCCompressor(DBGCParams(entropy_backend=backend)).compress(
+                cloud
+            )
+            assert len(DBGCDecompressor().decompress(payload)) == len(cloud)

@@ -50,3 +50,58 @@ class TestParallel:
     def test_rejects_zero_workers(self):
         with pytest.raises(ValueError):
             ParallelFrameCompressor(workers=0)
+
+    def test_stream_consumes_lazily(self, small_sensor):
+        # Regression: compress_stream used to drain the whole iterable via
+        # executor.map before yielding anything, which never terminates on
+        # a live (infinite) frame source.  The bounded window must pull at
+        # most ~2x workers frames ahead of what has been yielded.
+        rng = np.random.default_rng(0)
+        template = PointCloud(rng.uniform(-5.0, 5.0, size=(120, 3)))
+        pulled = 0
+
+        def endless():
+            nonlocal pulled
+            while True:
+                pulled += 1
+                yield template
+
+        workers = 2
+        consumed = 0
+        with ParallelFrameCompressor(sensor=small_sensor, workers=workers) as pool:
+            for payload in pool.compress_stream(endless()):
+                assert payload
+                consumed += 1
+                if consumed == 3:
+                    break
+        assert pulled <= 2 * workers + consumed
+
+    def test_attributes_match_serial(self, frames, small_sensor):
+        # Regression: the parallel path used to rebuild PointCloud(xyz)
+        # only, silently dropping per-point attributes from the payload.
+        rng = np.random.default_rng(7)
+        items = [(f, {"intensity": rng.random(len(f))}) for f in frames]
+        params = DBGCParams()
+        serial = [
+            DBGCCompressor(params, sensor=small_sensor).compress(f, attrs)
+            for f, attrs in items
+        ]
+        with ParallelFrameCompressor(params, sensor=small_sensor, workers=2) as pool:
+            parallel = pool.compress_all(items)
+        assert parallel == serial  # byte-identical to the serial path
+        decoder = DBGCDecompressor()
+        for payload, (f, attrs) in zip(parallel, items):
+            _, decoded = decoder.decompress_with_attributes(payload)
+            assert "intensity" in decoded
+            assert len(decoded["intensity"]) == len(f)
+
+    def test_mixed_bare_and_attributed_frames(self, frames, small_sensor):
+        rng = np.random.default_rng(11)
+        items = [frames[0], (frames[1], {"intensity": rng.random(len(frames[1]))})]
+        with ParallelFrameCompressor(sensor=small_sensor, workers=2) as pool:
+            payloads = pool.compress_all(items)
+        decoder = DBGCDecompressor()
+        _, attrs0 = decoder.decompress_with_attributes(payloads[0])
+        _, attrs1 = decoder.decompress_with_attributes(payloads[1])
+        assert attrs0 == {}
+        assert set(attrs1) == {"intensity"}
