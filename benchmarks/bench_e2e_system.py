@@ -12,7 +12,14 @@ from benchmarks.common import frame, write_result
 from repro.core import DBGCParams
 from repro.datasets import SensorModel
 from repro.eval import peak_rss_bytes, render_table
-from repro.system import BandwidthShaper, DbgcClient, DbgcServer, SqliteFrameStore
+from repro.system import (
+    BandwidthShaper,
+    DbgcClient,
+    DbgcServer,
+    FaultSpec,
+    FaultyChannel,
+    SqliteFrameStore,
+)
 
 N_FRAMES = 3
 Q = 0.02
@@ -69,3 +76,66 @@ def test_e2e_system(benchmark):
     assert raw_mbps > uplink.bandwidth_mbps or full_scale_raw_mbps > uplink.bandwidth_mbps
     assert compressed_mbps <= uplink.bandwidth_mbps
     assert report.mean_total_latency > 0
+
+
+#: Fault sweep: seeded link pathologies the transport must absorb.
+FAULT_SCENARIOS = [
+    ("clean link", FaultSpec()),
+    ("5% corruption", FaultSpec(corrupt_rate=0.05)),
+    ("20% corruption", FaultSpec(corrupt_rate=0.20)),
+    ("mid-frame disconnect", FaultSpec(force_disconnect_frames=frozenset({1}))),
+    ("ACK loss 30%", FaultSpec(ack_drop_rate=0.30)),
+    ("corrupt + disconnect", FaultSpec(
+        corrupt_rate=0.10, force_disconnect_frames=frozenset({0, 2}))),
+]
+
+
+def test_e2e_fault_sweep(benchmark):
+    """The pipeline under injected faults: no thread deaths, full accounting."""
+    frames = [frame("kitti-city", i) for i in range(N_FRAMES)]
+
+    def run_scenario(label, spec, seed=3):
+        channel = FaultyChannel(BandwidthShaper.mobile_4g(), seed=seed, spec=spec)
+        store = SqliteFrameStore()
+        with DbgcServer(store, mode="store", channel=channel) as server:
+            with DbgcClient(
+                server.address, params=DBGCParams(q_xyz=Q), channel=channel,
+                ack_timeout=1.0, backoff_base=0.01,
+            ) as client:
+                for index, cloud in enumerate(frames):
+                    client.send_frame(index, cloud)
+            server.join()  # raises if the serve thread died
+        report = client.report
+        stored = store.frame_indices()
+        quarantined = sorted(q.frame_index for q in server.quarantine)
+        # Every frame accounted for exactly once; no silent losses.
+        assert sorted(stored + quarantined) == list(range(N_FRAMES))
+        assert report.n_stored == len(stored)
+        assert report.n_quarantined == len(quarantined)
+        assert report.n_dropped == 0
+        return [
+            label,
+            f"{len(stored)}/{N_FRAMES}",
+            str(len(quarantined)),
+            str(report.total_retries),
+            str(server.connections),
+        ]
+
+    def run_sweep():
+        return [run_scenario(label, spec) for label, spec in FAULT_SCENARIOS]
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    # Determinism: a second pass over the nastiest scenario matches.
+    label, spec = FAULT_SCENARIOS[-1]
+    assert run_scenario(label, spec) == rows[-1]
+    text = render_table(
+        ["scenario", "stored", "quarantined", "retries", "connections"],
+        rows,
+        title=f"Transport fault sweep, q = {Q} m, {N_FRAMES} frames, seed 3",
+    )
+    write_result("sec44_fault_sweep", text)
+    # The forced-disconnect scenarios must have recovered via retransmit.
+    by_label = {row[0]: row for row in rows}
+    assert int(by_label["mid-frame disconnect"][3]) >= 1
+    assert int(by_label["20% corruption"][2]) >= 1
+    assert by_label["clean link"][1] == f"{N_FRAMES}/{N_FRAMES}"

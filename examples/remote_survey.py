@@ -1,16 +1,52 @@
-"""Remote survey over a 4G uplink — the paper's motivating application.
+"""Remote survey over a lossy 4G uplink — the paper's motivating application.
 
 A sensor-side client compresses frames online and ships them through a
 bandwidth-shaped TCP link to a server that decompresses and stores them in
 SQLite; the run reports per-stage latency and whether the stream fits the
-uplink (paper Section 4.4).
+uplink (paper Section 4.4).  A second pass replays the same stream through
+a seeded fault injector — payload corruption plus a mid-frame disconnect —
+to show the transport retrying, quarantining, and carrying on.
 
 Run:  python examples/remote_survey.py
 """
 
 from repro.core import DBGCParams
 from repro.datasets import SensorModel, generate_frames
-from repro.system import BandwidthShaper, DbgcClient, DbgcServer, SqliteFrameStore
+from repro.system import (
+    BandwidthShaper,
+    DbgcClient,
+    DbgcServer,
+    FaultSpec,
+    FaultyChannel,
+    SqliteFrameStore,
+)
+
+
+def stream(frames, channel, title):
+    print(f"\n--- {title} ---")
+    store = SqliteFrameStore()
+    with DbgcServer(store, mode="decompress") as server:
+        with DbgcClient(
+            server.address,
+            params=DBGCParams(q_xyz=0.02),
+            channel=channel,
+            ack_timeout=2.0,
+        ) as client:
+            for index, frame in enumerate(frames):
+                trace = client.send_frame(index, frame)
+                print(
+                    f"frame {index}: {trace.payload_bytes} B, "
+                    f"compress {trace.compress_latency * 1e3:.0f} ms"
+                )
+        server.join()
+    client.merge_receipts(server.receipts)
+    report = client.report
+    print(f"stored {report.n_stored}/{len(frames)} frames "
+          f"over {server.connections} connection(s); "
+          f"retries {report.total_retries}, quarantined {report.n_quarantined}")
+    for bad in server.quarantine:
+        print(f"  quarantined {bad}")
+    return report
 
 
 def main() -> None:
@@ -22,32 +58,18 @@ def main() -> None:
     print(f"sensor: {sensor.name}, {len(frames[0])} points/frame, 10 fps")
     print(f"raw stream needs {raw_mbps:.1f} Mbps; 4G uplink offers {uplink.bandwidth_mbps} Mbps")
 
-    store = SqliteFrameStore()
-    server = DbgcServer(store, mode="decompress").start()
-    client = DbgcClient(
-        server.address,
-        params=DBGCParams(q_xyz=0.02),
-        channel=uplink,
-    )
-    for index, frame in enumerate(frames):
-        trace = client.send_frame(index, frame)
-        print(
-            f"frame {index}: {trace.payload_bytes} B, "
-            f"compress {trace.compress_latency * 1e3:.0f} ms"
-        )
-    client.close()
-    server.join()
-    client.merge_receipts(server.receipts)
-
-    report = client.report
+    report = stream(frames, uplink, "clean 4G uplink")
     compressed_mbps = report.bandwidth_mbps(sensor.frames_per_second)
-    print(f"\nstored frames: {len(store)}")
     print(f"compressed stream: {compressed_mbps:.2f} Mbps "
           f"({'fits' if compressed_mbps <= uplink.bandwidth_mbps else 'exceeds'} the uplink)")
     print(f"mean end-to-end latency: {report.mean_total_latency * 1e3:.0f} ms/frame")
     print(f"  compress: {report.mean_compress_latency * 1e3:.0f} ms")
     print(f"  transfer: {report.mean_transfer_latency * 1e3:.0f} ms")
     print(f"pipeline throughput: {report.throughput_fps():.1f} frames/s")
+
+    # Same stream, hostile link: deterministic corruption + a disconnect.
+    spec = FaultSpec(corrupt_rate=0.25, force_disconnect_frames=frozenset({2}))
+    stream(frames, FaultyChannel(uplink, seed=11, spec=spec), "faulty 4G uplink (seed 11)")
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@ Subcommands:
 - ``verify``     — validate a .dbgc stream (optionally against the original)
 - ``reproduce``  — re-run one of the paper's tables/figures
 - ``bench``      — quick ratio comparison of all methods on one frame
+- ``stream``     — run the client/server pipeline over a (faulty) uplink
 
 All commands run offline; see ``dbgc <command> --help`` for options.
 """
@@ -223,6 +224,79 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.datasets.frames import generate_frames
+    from repro.system import (
+        BandwidthShaper,
+        DbgcClient,
+        DbgcServer,
+        FaultSpec,
+        FaultyChannel,
+        SqliteFrameStore,
+    )
+
+    sensor = _sensor_from_args(args)
+    shaper = BandwidthShaper(args.bandwidth) if args.bandwidth > 0 else None
+    disconnect_frames = frozenset(
+        int(i) for i in args.disconnect_frames.split(",") if i.strip()
+    )
+    spec = FaultSpec(
+        corrupt_rate=args.corrupt_rate,
+        disconnect_rate=args.disconnect_rate,
+        ack_drop_rate=args.ack_drop_rate,
+        jitter=args.jitter,
+        force_disconnect_frames=disconnect_frames,
+    )
+    faulty = spec != FaultSpec()
+    channel = FaultyChannel(shaper, seed=args.fault_seed, spec=spec) if faulty else shaper
+
+    store = SqliteFrameStore(args.store if args.store else ":memory:")
+    server_channel = channel if isinstance(channel, FaultyChannel) else None
+    with DbgcServer(store, mode=args.mode, channel=server_channel) as server:
+        with DbgcClient(
+            server.address,
+            params=DBGCParams(q_xyz=args.q),
+            sensor=sensor,
+            channel=channel,
+            queue_capacity=args.queue_capacity,
+            overflow_policy=args.policy,
+            ack_timeout=args.ack_timeout,
+            backoff_base=0.02,
+        ) as client:
+            frames = generate_frames(
+                args.scene, args.frames, sensor=sensor, seed=args.seed
+            )
+            for index, cloud in enumerate(frames):
+                trace = client.send_frame(index, cloud)
+                print(
+                    f"frame {index}: {len(cloud)} points, "
+                    f"{trace.payload_bytes} B queued"
+                )
+        server.join()
+    client.merge_receipts(server.receipts)
+
+    report = client.report
+    print(f"\nstored {report.n_stored}/{args.frames} frames "
+          f"({len(store)} in store) over {server.connections} connection(s)")
+    print(f"  retries     : {report.total_retries}")
+    print(f"  dropped     : {report.n_dropped}")
+    print(f"  quarantined : {report.n_quarantined}")
+    print(f"  degraded    : {report.n_degraded}")
+    for bad in server.quarantine:
+        print(f"  quarantine: {bad}")
+    if report.n_stored:
+        print(f"mean total latency: {report.mean_total_latency * 1e3:.0f} ms/frame; "
+              f"throughput {report.throughput_fps():.2f} fps")
+    if shaper is not None:
+        mbps = report.bandwidth_mbps(sensor.frames_per_second)
+        verdict = "fits" if mbps <= shaper.bandwidth_mbps else "exceeds"
+        print(f"stream needs {mbps:.2f} Mbps; {verdict} the "
+              f"{shaper.bandwidth_mbps:g} Mbps uplink")
+    # Every frame must be accounted for: stored, quarantined, or dropped.
+    accounted = report.n_stored + report.n_quarantined + report.n_dropped
+    return 0 if accounted == args.frames else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="dbgc",
@@ -294,6 +368,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_sensor_arg(p)
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "stream", help="run the client/server pipeline over a (faulty) uplink"
+    )
+    p.add_argument("--scene", default="kitti-city", choices=sorted(SCENE_BUILDERS))
+    p.add_argument("--frames", type=int, default=5, help="frames to stream")
+    p.add_argument("--seed", type=int, default=0, help="scene random seed")
+    p.add_argument("--q", type=float, default=0.02, help="error bound in meters")
+    p.add_argument(
+        "--mode", default="decompress", choices=["decompress", "store"],
+        help="server behavior: decompress clouds or store raw payloads",
+    )
+    p.add_argument(
+        "--store", default="", help="SQLite path for the server store (default memory)"
+    )
+    p.add_argument(
+        "--bandwidth", type=float, default=8.2,
+        help="uplink bandwidth in Mbps; 0 disables pacing (default 4G: 8.2)",
+    )
+    p.add_argument(
+        "--policy", default="block", choices=["block", "drop-oldest", "coarsen"],
+        help="send-queue overflow policy under congestion",
+    )
+    p.add_argument("--queue-capacity", type=int, default=8, help="send queue bound")
+    p.add_argument(
+        "--ack-timeout", type=float, default=10.0,
+        help="seconds to wait for a server ACK before retransmitting",
+    )
+    p.add_argument("--fault-seed", type=int, default=0, help="fault injection seed")
+    p.add_argument(
+        "--corrupt-rate", type=float, default=0.0,
+        help="per-attempt probability of payload bit flips",
+    )
+    p.add_argument(
+        "--disconnect-rate", type=float, default=0.0,
+        help="per-attempt probability of a mid-record disconnect",
+    )
+    p.add_argument(
+        "--ack-drop-rate", type=float, default=0.0,
+        help="probability a server ACK is lost (exercises dedupe)",
+    )
+    p.add_argument(
+        "--jitter", type=float, default=0.0,
+        help="bandwidth jitter amplitude in [0, 1)",
+    )
+    p.add_argument(
+        "--disconnect-frames", default="",
+        help="comma-separated frame indices whose first send is cut mid-record",
+    )
+    _add_sensor_arg(p)
+    p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser("bench", help="compare all methods on one frame")
     p.add_argument("--scene", default="kitti-city", choices=sorted(SCENE_BUILDERS))

@@ -1,4 +1,4 @@
-"""The end-to-end DBGC system (paper Figure 2).
+"""The end-to-end DBGC system (paper Figure 2), hardened for a lossy link.
 
 A :class:`~repro.system.client.DbgcClient` pulls frames from a (simulated)
 sensor, compresses them, and ships the bit sequences over a TCP connection
@@ -9,20 +9,34 @@ the raw stream), and writes frames into a
 :class:`~repro.system.storage.FileFrameStore` or
 :class:`~repro.system.storage.SqliteFrameStore`.  Per-frame stage
 timestamps support the Section 4.4 throughput / latency evaluation.
+
+Transport protocol v2 (:mod:`repro.system.protocol`) makes delivery
+fault-tolerant: CRC-checked typed records, client retransmission with
+capped exponential backoff, server-side quarantine and dedupe, and
+bounded-queue degradation policies for congested links.  A seeded
+:class:`~repro.system.faults.FaultyChannel` injects deterministic bit
+flips, truncations, disconnects, and bandwidth jitter to prove it.
 """
 
 from repro.system.channel import BandwidthShaper
-from repro.system.client import DbgcClient
-from repro.system.metrics import FrameTrace, PipelineReport
-from repro.system.server import DbgcServer
+from repro.system.client import OVERFLOW_POLICIES, DbgcClient
+from repro.system.faults import FaultPlan, FaultSpec, FaultyChannel
+from repro.system.metrics import FrameTrace, PipelineReport, TransportEvent
+from repro.system.server import DbgcServer, QuarantinedFrame
 from repro.system.storage import FileFrameStore, SqliteFrameStore
 
 __all__ = [
     "BandwidthShaper",
     "DbgcClient",
     "DbgcServer",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyChannel",
     "FileFrameStore",
     "FrameTrace",
+    "OVERFLOW_POLICIES",
     "PipelineReport",
+    "QuarantinedFrame",
     "SqliteFrameStore",
+    "TransportEvent",
 ]

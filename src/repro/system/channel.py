@@ -60,9 +60,14 @@ class BandwidthShaper:
         """Can the link keep up with the sensor's frame rate? (Section 4.4)"""
         return self.sustainable_fps(n_bytes) >= frames_per_second
 
-    def pace(self, n_bytes: int, started_at: float) -> None:
-        """Sleep until the payload 'fits through' the link (live mode)."""
-        deadline = started_at + self.transfer_seconds(n_bytes)
+    def pace(self, n_bytes: int, started_at: float, scale: float = 1.0) -> None:
+        """Sleep until the payload 'fits through' the link (live mode).
+
+        ``scale`` stretches or shrinks this transfer's serialization time
+        around the nominal link model — fault injection uses it to model
+        bandwidth jitter without mutating the shaper.
+        """
+        deadline = started_at + scale * self.transfer_seconds(n_bytes)
         remaining = deadline - time.perf_counter()
         if remaining > 0:
             time.sleep(remaining)

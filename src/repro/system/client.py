@@ -1,14 +1,31 @@
-"""The DBGC client: acquire, compress, ship over the uplink.
+"""The DBGC client: acquire, compress, ship over an *unreliable* uplink.
 
 Wraps a :class:`~repro.core.pipeline.DBGCCompressor` behind a TCP sender
-whose pacing emulates the mobile uplink (paper Figure 2, client side).
+whose pacing emulates the mobile uplink (paper Figure 2, client side) and
+whose delivery survives it:
+
+- frames go through a **bounded send queue** drained by a sender thread,
+  with a configurable overflow policy for when the link cannot sustain
+  the sensor's frame rate (``"block"``, ``"drop-oldest"``, or
+  ``"coarsen"`` — recompress at a larger ``q_xyz``, the paper's
+  ``supports()`` criterion applied online);
+- each frame is a protocol-v2 record (CRC-protected, typed — see
+  :mod:`repro.system.protocol`) and must be acknowledged within
+  ``ack_timeout``; on timeout or disconnect the client **reconnects with
+  capped exponential backoff plus jitter and retransmits** — the server
+  dedupes by frame index, so retries are idempotent;
+- every retry, drop, quarantine, and degradation lands in the
+  :class:`~repro.system.metrics.PipelineReport` for accounting.
 """
 
 from __future__ import annotations
 
 import socket
-import struct
+import threading
 import time
+from collections import deque
+from dataclasses import dataclass, replace
+from random import Random
 from typing import Iterable
 
 from repro.core.params import DBGCParams
@@ -16,26 +33,122 @@ from repro.core.pipeline import DBGCCompressor
 from repro.datasets.sensors import SensorModel
 from repro.geometry.points import PointCloud
 from repro.system.channel import BandwidthShaper
+from repro.system.faults import FaultPlan, FaultyChannel
 from repro.system.metrics import FrameTrace, PipelineReport
+from repro.system.protocol import (
+    ACK_QUARANTINED,
+    PAYLOAD_OFFSET,
+    TYPE_ACK,
+    TYPE_END,
+    TYPE_FRAME,
+    FLAG_DEGRADED,
+    encode_record,
+    read_record,
+)
 
-__all__ = ["DbgcClient"]
+__all__ = ["DbgcClient", "OVERFLOW_POLICIES"]
 
-_FRAME_HEADER = struct.Struct("<II")
-_END_MARKER = 0xFFFFFFFF
+#: Send-queue overflow policies (engaged when the uplink falls behind).
+OVERFLOW_POLICIES = ("block", "drop-oldest", "coarsen")
+
+_CLOSE = object()  # queue sentinel: flush and send END
+
+
+@dataclass
+class _QueuedFrame:
+    trace: FrameTrace
+    payload: bytes
+    flags: int = 0
+
+
+class _SendQueue:
+    """A bounded FIFO with pluggable overflow behavior."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: deque = deque()
+        self._cond = threading.Condition()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    def full(self) -> bool:
+        with self._cond:
+            return len(self._items) >= self.capacity
+
+    def put_block(self, item) -> None:
+        """Append, waiting for space (backpressure onto the producer)."""
+        with self._cond:
+            while len(self._items) >= self.capacity:
+                self._cond.wait()
+            self._items.append(item)
+            self._cond.notify_all()
+
+    def put_drop_oldest(self, item) -> "_QueuedFrame | None":
+        """Append, evicting and returning the oldest entry when full."""
+        with self._cond:
+            evicted = None
+            if len(self._items) >= self.capacity:
+                evicted = self._items.popleft()
+            self._items.append(item)
+            self._cond.notify_all()
+            return evicted
+
+    def put_priority(self, item) -> None:
+        """Append regardless of capacity (for the close sentinel)."""
+        with self._cond:
+            self._items.append(item)
+            self._cond.notify_all()
+
+    def get(self):
+        """Pop the oldest entry, blocking until one exists."""
+        with self._cond:
+            while not self._items:
+                self._cond.wait()
+            item = self._items.popleft()
+            self._cond.notify_all()
+            return item
 
 
 class DbgcClient:
-    """Compress frames and send them to a :class:`DbgcServer`.
+    """Compress frames and deliver them to a :class:`DbgcServer`, reliably.
 
     Parameters
     ----------
     address:
         Server ``(host, port)``.
     params, sensor:
-        Compression configuration.
+        Compression configuration.  The sensor also provides the frame
+        rate used by the ``"coarsen"`` policy's ``supports()`` check.
     channel:
-        Optional uplink shaper; when given, sends are paced to its
-        bandwidth so end-to-end latency reflects the constrained link.
+        Optional uplink shaper (sends are paced to its bandwidth) or a
+        :class:`~repro.system.faults.FaultyChannel` for deterministic
+        fault injection.
+    queue_capacity, overflow_policy:
+        Bounded send-queue size and what to do when it overflows:
+        ``"block"`` the producer, ``"drop-oldest"`` (evict the stalest
+        queued frame), or ``"coarsen"`` (recompress the incoming frame at
+        ``coarsen_factor * q_xyz`` when the link is congested, blocking
+        only if it still does not fit).
+    coarsen_factor:
+        Error-bound multiplier applied by the ``"coarsen"`` policy.
+    max_retries:
+        Retransmissions allowed per frame after the first attempt; a
+        frame whose retries are exhausted is recorded as dropped.
+    ack_timeout, connect_timeout:
+        Seconds to wait for a server ACK / for a TCP connect.
+    backoff_base, backoff_cap:
+        Reconnect backoff: attempt *i* sleeps
+        ``min(cap, base * 2**i) * uniform(0.5, 1.0)``.
+    retry_seed:
+        Seed of the backoff-jitter RNG (deterministic tests).
+    connect_retries:
+        Attempts for the *initial* connect (defaults to ``max_retries``).
+        ``__init__`` either returns a fully working client or raises with
+        every socket closed — never a half-built object.
     """
 
     def __init__(
@@ -43,39 +156,101 @@ class DbgcClient:
         address: tuple[str, int],
         params: DBGCParams | None = None,
         sensor: SensorModel | None = None,
-        channel: BandwidthShaper | None = None,
+        channel: BandwidthShaper | FaultyChannel | None = None,
+        queue_capacity: int = 8,
+        overflow_policy: str = "block",
+        coarsen_factor: float = 4.0,
+        max_retries: int = 5,
+        ack_timeout: float = 10.0,
+        connect_timeout: float = 10.0,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        retry_seed: int = 0,
+        connect_retries: int | None = None,
     ) -> None:
+        if overflow_policy not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"unknown overflow policy {overflow_policy!r}; "
+                f"choose from {OVERFLOW_POLICIES}"
+            )
+        # Build every resource-free attribute first: if the connect below
+        # fails, __init__ raises without leaking a socket or a thread.
+        self.address = address
+        self.params = params if params is not None else DBGCParams()
+        self.sensor = sensor
         self.compressor = DBGCCompressor(params, sensor=sensor)
         self.channel = channel
-        self._sock = socket.create_connection(address, timeout=30.0)
+        self.overflow_policy = overflow_policy
+        self.coarsen_factor = float(coarsen_factor)
+        self.max_retries = int(max_retries)
+        self.ack_timeout = float(ack_timeout)
+        self.connect_timeout = float(connect_timeout)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
         self.report = PipelineReport()
+        self.transport_error: BaseException | None = None
+        self._rng = Random(retry_seed)
+        self._lock = threading.Lock()  # guards traces + report.events
+        self._queue = _SendQueue(queue_capacity)
+        self._coarse_compressor: DBGCCompressor | None = None
+        self._closed = False
+        self._sock: socket.socket | None = None
+        self._sender: threading.Thread | None = None
+        retries = self.max_retries if connect_retries is None else int(connect_retries)
+        self._sock = self._connect(retries, first_immediate=True)
+        self._sender = threading.Thread(target=self._sender_loop, daemon=True)
+        self._sender.start()
+
+    def __enter__(self) -> "DbgcClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- producer side -------------------------------------------------
+
+    @property
+    def _frame_rate(self) -> float | None:
+        return None if self.sensor is None else self.sensor.frames_per_second
 
     def send_frame(self, frame_index: int, cloud: PointCloud) -> FrameTrace:
-        """Compress and transmit one frame; returns its (partial) trace.
+        """Compress one frame and enqueue it for delivery.
 
-        ``received_at``/``stored_at`` stay zero here; the benchmark driver
-        merges them from the server's receipts after :meth:`close`.
+        Returns the frame's trace immediately; ``sent_at``/``attempts``/
+        ``status`` are filled in by the sender thread, and
+        ``received_at``/``stored_at`` merge from the server's receipts
+        after :meth:`close` (see :meth:`merge_receipts`).
         """
         captured_at = time.perf_counter()
         payload = self.compressor.compress(cloud)
         compressed_at = time.perf_counter()
-        # Transmission starts now; the shaper delays delivery by the link's
-        # serialization time, so the server's receive timestamp reflects a
-        # constrained uplink rather than the loopback.
-        sent_at = compressed_at
-        if self.channel is not None:
-            self.channel.pace(len(payload), sent_at)
-        self._sock.sendall(_FRAME_HEADER.pack(frame_index, len(payload)))
-        self._sock.sendall(payload)
         trace = FrameTrace(
             frame_index=frame_index,
             n_points=len(cloud),
             payload_bytes=len(payload),
             captured_at=captured_at,
             compressed_at=compressed_at,
-            sent_at=sent_at,
+            status="pending",
         )
-        self.report.add(trace)
+        with self._lock:
+            self.report.add(trace)
+        self._enqueue(_QueuedFrame(trace, payload), cloud)
+        return trace
+
+    def send_payload(self, frame_index: int, payload: bytes) -> FrameTrace:
+        """Enqueue a pre-compressed payload (sensor-side re-shipping)."""
+        now = time.perf_counter()
+        trace = FrameTrace(
+            frame_index=frame_index,
+            n_points=0,
+            payload_bytes=len(payload),
+            captured_at=now,
+            compressed_at=now,
+            status="pending",
+        )
+        with self._lock:
+            self.report.add(trace)
+        self._enqueue(_QueuedFrame(trace, payload), cloud=None)
         return trace
 
     def send_stream(self, frames: Iterable[PointCloud]) -> PipelineReport:
@@ -84,11 +259,207 @@ class DbgcClient:
             self.send_frame(index, cloud)
         return self.report
 
+    def _enqueue(self, item: _QueuedFrame, cloud: PointCloud | None) -> None:
+        if self._closed:
+            raise RuntimeError("client is closed")
+        if self.overflow_policy == "coarsen" and cloud is not None:
+            item = self._maybe_coarsen(item, cloud)
+            self._queue.put_block(item)
+        elif self.overflow_policy == "drop-oldest":
+            evicted = self._queue.put_drop_oldest(item)
+            if evicted is not None:
+                with self._lock:
+                    evicted.trace.status = "dropped"
+                    self.report.record(
+                        "drop", evicted.trace.frame_index, detail="evicted: queue full"
+                    )
+        else:
+            self._queue.put_block(item)
+
+    def _congested(self, payload_bytes: int) -> bool:
+        """Is the link falling behind? (paper's ``supports()`` criterion)"""
+        if self._queue.full():
+            return True
+        rate = self._frame_rate
+        if rate is not None and self.channel is not None:
+            return not self.channel.supports(payload_bytes, rate)
+        return False
+
+    def _maybe_coarsen(self, item: _QueuedFrame, cloud: PointCloud) -> _QueuedFrame:
+        if not self._congested(len(item.payload)):
+            return item
+        if self._coarse_compressor is None:
+            coarse = replace(self.params, q_xyz=self.params.q_xyz * self.coarsen_factor)
+            self._coarse_compressor = DBGCCompressor(coarse, sensor=self.sensor)
+        payload = self._coarse_compressor.compress(cloud)
+        trace = item.trace
+        with self._lock:
+            trace.degraded = True
+            trace.compressed_at = time.perf_counter()
+            self.report.record(
+                "degrade",
+                trace.frame_index,
+                detail=(
+                    f"q_xyz x{self.coarsen_factor:g}: "
+                    f"{trace.payload_bytes} -> {len(payload)} bytes"
+                ),
+            )
+            trace.payload_bytes = len(payload)
+        return _QueuedFrame(trace, payload, flags=FLAG_DEGRADED)
+
+    # -- sender thread ------------------------------------------------
+
+    def _sender_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _CLOSE:
+                self._send_end()
+                return
+            try:
+                self._transmit(item)
+            except BaseException as exc:
+                # Link is beyond repair: account the frame, keep draining
+                # so close() never deadlocks on a full queue.
+                self.transport_error = exc
+                with self._lock:
+                    item.trace.status = "dropped"
+                    self.report.record(
+                        "drop", item.trace.frame_index, detail=f"transport dead: {exc!r}"
+                    )
+
+    def _transmit(self, item: _QueuedFrame) -> None:
+        trace = item.trace
+        record = encode_record(
+            TYPE_FRAME, trace.frame_index, item.payload, flags=item.flags
+        )
+        faulty = self.channel if isinstance(self.channel, FaultyChannel) else None
+        for attempt in range(self.max_retries + 1):
+            with self._lock:
+                trace.attempts = attempt + 1
+                if trace.sent_at == 0.0:
+                    trace.sent_at = time.perf_counter()
+            plan = (
+                faulty.plan(trace.frame_index, attempt, len(record))
+                if faulty is not None
+                else None
+            )
+            try:
+                self._send_record(record, plan)
+                status = self._await_ack(trace.frame_index)
+            except (ConnectionError, TimeoutError, OSError) as exc:
+                with self._lock:
+                    self.report.record(
+                        "retry", trace.frame_index, attempt, detail=repr(exc)
+                    )
+                if attempt < self.max_retries:
+                    self._reconnect()
+                continue
+            with self._lock:
+                trace.status = status
+                if status == "quarantined":
+                    self.report.record(
+                        "quarantine", trace.frame_index, attempt,
+                        detail="server rejected payload",
+                    )
+            return
+        with self._lock:
+            trace.status = "dropped"
+            self.report.record(
+                "drop", trace.frame_index, self.max_retries,
+                detail=f"gave up after {self.max_retries + 1} attempts",
+            )
+
+    def _send_record(self, record: bytes, plan: FaultPlan | None) -> None:
+        assert self._sock is not None
+        data = record
+        if plan is not None and plan.flip_bits:
+            wire = bytearray(data)
+            for bit in plan.flip_bits:
+                pos = PAYLOAD_OFFSET + bit // 8
+                if pos < len(wire) - 4:  # keep the trailing CRC intact
+                    wire[pos] ^= 1 << (bit % 8)
+            data = bytes(wire)
+        started = time.perf_counter()
+        scale = plan.jitter_factor if plan is not None else 1.0
+        if self.channel is not None:
+            self.channel.pace(len(data), started, scale=scale)
+        if plan is not None and plan.cut_after is not None:
+            self._sock.sendall(data[: plan.cut_after])
+            # Simulate the link dying mid-record.
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+            raise ConnectionError(
+                f"fault injection: link died after {plan.cut_after} bytes"
+            )
+        self._sock.sendall(data)
+
+    def _await_ack(self, frame_index: int) -> str:
+        assert self._sock is not None
+        self._sock.settimeout(self.ack_timeout)
+        while True:
+            record = read_record(self._sock)
+            if record.type == TYPE_ACK and record.frame_index == frame_index:
+                if record.flags == ACK_QUARANTINED:
+                    return "quarantined"
+                return "stored"  # fresh store or deduped retransmission
+            # A stale ACK from a previous attempt/frame: keep reading.
+
+    def _connect(self, retries: int, first_immediate: bool = False) -> socket.socket:
+        last: BaseException | None = None
+        for attempt in range(retries + 1):
+            if attempt > 0 or not first_immediate:
+                delay = min(self.backoff_cap, self.backoff_base * (2 ** max(0, attempt - 1)))
+                time.sleep(delay * (0.5 + 0.5 * self._rng.random()))
+            try:
+                return socket.create_connection(
+                    self.address, timeout=self.connect_timeout
+                )
+            except OSError as exc:
+                last = exc
+        raise ConnectionError(
+            f"could not connect to {self.address} after {retries + 1} attempts"
+        ) from last
+
+    def _reconnect(self) -> None:
+        if self._sock is not None:
+            self._sock.close()
+        self._sock = self._connect(self.max_retries)
+        with self._lock:
+            self.report.record("reconnect", -1)
+
+    def _send_end(self) -> None:
+        # END is best-effort (every frame was individually ACKed), but try
+        # once over a fresh connection so a link that died on the last
+        # frame still lets the server terminate cleanly.
+        for attempt in range(2):
+            try:
+                assert self._sock is not None
+                self._sock.sendall(encode_record(TYPE_END, 0))
+                self._sock.settimeout(min(2.0, self.ack_timeout))
+                while read_record(self._sock).type != TYPE_ACK:
+                    pass
+                return
+            except (OSError, ConnectionError, TimeoutError):
+                if attempt == 0:
+                    try:
+                        self._reconnect()
+                    except (OSError, ConnectionError):
+                        return
+
+    # -- shutdown / receipts ------------------------------------------
+
     def close(self) -> None:
-        """Signal end-of-stream and close the connection."""
-        try:
-            self._sock.sendall(_FRAME_HEADER.pack(_END_MARKER, 0))
-        finally:
+        """Flush the queue, signal end-of-stream, close the connection."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._sender is not None and self._sender.is_alive():
+            self._queue.put_priority(_CLOSE)
+            self._sender.join(timeout=60.0)
+        if self._sock is not None:
             self._sock.close()
 
     def merge_receipts(self, receipts: list[tuple[int, int, float, float]]) -> None:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["FrameTrace", "PipelineReport"]
+__all__ = ["FrameTrace", "PipelineReport", "TransportEvent"]
 
 
 @dataclass
@@ -24,6 +24,19 @@ class FrameTrace:
     sent_at: float = 0.0
     received_at: float = 0.0
     stored_at: float = 0.0
+    #: Transmission attempts (1 = delivered first try; 0 = never sent).
+    attempts: int = 1
+    #: Final fate: ``"pending"`` (still queued), ``"stored"``,
+    #: ``"quarantined"`` (server rejected the bytes), or ``"dropped"``
+    #: (evicted under congestion or retries exhausted).
+    status: str = "stored"
+    #: True when the payload was recompressed at a coarser error bound
+    #: because the link could not sustain the sensor rate.
+    degraded: bool = False
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
 
     @property
     def compress_latency(self) -> float:
@@ -42,44 +55,119 @@ class FrameTrace:
         return self.stored_at - self.captured_at
 
 
+@dataclass(frozen=True)
+class TransportEvent:
+    """One fault-tolerance action taken by the transport.
+
+    Kinds: ``retry`` (a transmission failed and will be re-attempted),
+    ``reconnect`` (the client re-established the connection),
+    ``quarantine`` (the server rejected a payload), ``drop`` (a frame was
+    evicted under congestion or gave up after retries), ``degrade`` (a
+    frame was recompressed at a coarser error bound), ``duplicate`` (the
+    server deduplicated a retransmission).
+    """
+
+    kind: str
+    frame_index: int
+    attempt: int = 0
+    detail: str = ""
+
+
 @dataclass
 class PipelineReport:
-    """Aggregate over many frame traces."""
+    """Aggregate over many frame traces and transport events."""
 
     traces: list[FrameTrace] = field(default_factory=list)
+    events: list[TransportEvent] = field(default_factory=list)
 
     def add(self, trace: FrameTrace) -> None:
         self.traces.append(trace)
 
+    def record(
+        self, kind: str, frame_index: int, attempt: int = 0, detail: str = ""
+    ) -> None:
+        """Log one transport event (retry, drop, quarantine, degrade...)."""
+        self.events.append(TransportEvent(kind, frame_index, attempt, detail))
+
     @property
     def n_frames(self) -> int:
         return len(self.traces)
+
+    # -- fault-tolerance accounting -----------------------------------
+
+    @property
+    def stored_traces(self) -> list[FrameTrace]:
+        """Traces of frames that made it into the store."""
+        return [t for t in self.traces if t.status == "stored"]
+
+    @property
+    def n_stored(self) -> int:
+        return len(self.stored_traces)
+
+    @property
+    def n_quarantined(self) -> int:
+        return sum(t.status == "quarantined" for t in self.traces)
+
+    @property
+    def n_dropped(self) -> int:
+        return sum(t.status == "dropped" for t in self.traces)
+
+    @property
+    def n_degraded(self) -> int:
+        return sum(t.degraded for t in self.traces)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(t.retries for t in self.traces)
+
+    def event_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def accounting_key(self) -> tuple:
+        """A deterministic fingerprint of this run's fault handling.
+
+        Two runs with the same seed/faults must produce equal keys; event
+        ordering across threads is normalized by sorting.
+        """
+        return (
+            tuple(sorted(t.frame_index for t in self.stored_traces)),
+            tuple(sorted(t.frame_index for t in self.traces if t.status == "quarantined")),
+            tuple(sorted(t.frame_index for t in self.traces if t.status == "dropped")),
+            tuple(sorted((t.frame_index, t.attempts) for t in self.traces)),
+            tuple(sorted((e.kind, e.frame_index, e.attempt) for e in self.events)),
+        )
+
+    # -- latency / bandwidth aggregates (stored frames only) ----------
 
     def _mean(self, values: list[float]) -> float:
         return sum(values) / len(values) if values else 0.0
 
     @property
     def mean_total_latency(self) -> float:
-        return self._mean([t.total_latency for t in self.traces])
+        return self._mean([t.total_latency for t in self.stored_traces])
 
     @property
     def mean_compress_latency(self) -> float:
-        return self._mean([t.compress_latency for t in self.traces])
+        return self._mean([t.compress_latency for t in self.stored_traces])
 
     @property
     def mean_transfer_latency(self) -> float:
-        return self._mean([t.transfer_latency for t in self.traces])
+        return self._mean([t.transfer_latency for t in self.stored_traces])
 
     @property
     def mean_payload_bytes(self) -> float:
-        return self._mean([float(t.payload_bytes) for t in self.traces])
+        return self._mean([float(t.payload_bytes) for t in self.stored_traces])
 
     def throughput_fps(self) -> float:
         """Frames stored per second over the observed window."""
-        if len(self.traces) < 2:
+        stored = self.stored_traces
+        if len(stored) < 2:
             return 0.0
-        span = self.traces[-1].stored_at - self.traces[0].captured_at
-        return self.n_frames / span if span > 0 else 0.0
+        span = stored[-1].stored_at - stored[0].captured_at
+        return len(stored) / span if span > 0 else 0.0
 
     def bandwidth_mbps(self, frames_per_second: float) -> float:
         """Average link bandwidth needed at the sensor's frame rate."""

@@ -1,0 +1,182 @@
+"""Transport protocol v2: integrity-checked, typed records.
+
+Protocol v1 framed every frame as ``<u32 frame_index, u32 size>`` +
+payload and signalled end-of-stream with the in-band marker
+``frame_index == 0xFFFFFFFF`` — a legitimate frame index could collide
+with it, and a single flipped bit anywhere silently corrupted the stored
+stream.  v2 records are self-describing and checksummed::
+
+    magic         b"DBG2"                                  (4 bytes)
+    type          u8    1 = FRAME, 2 = END, 3 = ACK
+    flags         u8    FRAME: bit 0 = degraded payload
+                        ACK:   0 = stored, 1 = quarantined, 2 = duplicate
+    frame_index   u32
+    payload_len   u32
+    header_crc32  u32   CRC-32 over the 14 bytes above
+    payload       payload_len bytes                        (FRAME only)
+    payload_crc32 u32   CRC-32 over the payload            (iff payload_len > 0)
+
+The explicit record type removes the end-marker collision; the header CRC
+lets a receiver detect a corrupted header and *resynchronize* by scanning
+for the next magic instead of mis-framing the rest of the stream; the
+payload CRC turns silent corruption into a :class:`CorruptPayloadError`
+that carries the damaged bytes for quarantine.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+__all__ = [
+    "MAGIC",
+    "TYPE_FRAME",
+    "TYPE_END",
+    "TYPE_ACK",
+    "ACK_STORED",
+    "ACK_QUARANTINED",
+    "ACK_DUPLICATE",
+    "FLAG_DEGRADED",
+    "Record",
+    "ProtocolError",
+    "CorruptPayloadError",
+    "encode_record",
+    "read_record",
+    "recv_exact",
+]
+
+MAGIC = b"DBG2"
+
+TYPE_FRAME = 1
+TYPE_END = 2
+TYPE_ACK = 3
+_KNOWN_TYPES = frozenset((TYPE_FRAME, TYPE_END, TYPE_ACK))
+
+#: ACK status codes (carried in ``flags``).
+ACK_STORED = 0
+ACK_QUARANTINED = 1
+ACK_DUPLICATE = 2
+
+#: FRAME flag: the payload was recompressed at a coarser error bound.
+FLAG_DEGRADED = 1
+
+_HEADER = struct.Struct("<4sBBII")  # magic, type, flags, frame_index, payload_len
+_CRC = struct.Struct("<I")
+
+#: Largest payload a receiver will allocate for (a full HDL-64E frame is
+#: ~1.2 MB raw; compressed payloads are far smaller).
+MAX_PAYLOAD = 64 * 1024 * 1024
+
+#: Give up resynchronizing after skipping this much garbage.
+_MAX_RESYNC = 16 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """The byte stream is not a valid v2 record stream."""
+
+
+class CorruptPayloadError(ProtocolError):
+    """A record's payload failed its CRC check.
+
+    Framing is intact (the header CRC passed), so the caller can
+    quarantine :attr:`payload` and keep reading the stream.
+    """
+
+    def __init__(self, frame_index: int, payload: bytes, expected: int, got: int):
+        super().__init__(
+            f"frame {frame_index}: payload CRC mismatch "
+            f"(expected {expected:#010x}, got {got:#010x})"
+        )
+        self.frame_index = frame_index
+        self.payload = payload
+        self.expected = expected
+        self.got = got
+
+
+@dataclass
+class Record:
+    """One decoded wire record."""
+
+    type: int
+    frame_index: int
+    flags: int = 0
+    payload: bytes = b""
+    #: Garbage bytes skipped before this record's magic was found (> 0
+    #: means the previous record's framing was corrupted in flight).
+    resync_skipped: int = field(default=0, compare=False)
+
+
+def recv_exact(conn: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise ``ConnectionError``."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = conn.recv(remaining)
+        if not chunk:
+            raise ConnectionError("peer closed mid-message")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def encode_record(
+    rtype: int, frame_index: int, payload: bytes = b"", flags: int = 0
+) -> bytes:
+    """Serialize one record, computing both CRCs."""
+    if rtype not in _KNOWN_TYPES:
+        raise ValueError(f"unknown record type {rtype}")
+    if not 0 <= frame_index <= 0xFFFFFFFF:
+        raise ValueError(f"frame index {frame_index} out of u32 range")
+    header = _HEADER.pack(MAGIC, rtype, flags, frame_index, len(payload))
+    parts = [header, _CRC.pack(zlib.crc32(header))]
+    if payload:
+        parts.append(payload)
+        parts.append(_CRC.pack(zlib.crc32(payload)))
+    return b"".join(parts)
+
+
+#: Offset of the payload within an encoded FRAME record (after header + CRC).
+PAYLOAD_OFFSET = _HEADER.size + _CRC.size
+
+
+def read_record(conn: socket.socket) -> Record:
+    """Read the next record, resynchronizing past corrupted headers.
+
+    Raises
+    ------
+    CorruptPayloadError
+        The header was valid but the payload failed its CRC; the stream
+        stays framed and the next call returns the following record.
+    ProtocolError
+        Resynchronization failed (no valid header within the scan limit).
+    ConnectionError
+        The peer closed the connection mid-record.
+    """
+    prefix = recv_exact(conn, _HEADER.size + _CRC.size)
+    skipped = 0
+    while True:
+        header, crc_bytes = prefix[: _HEADER.size], prefix[_HEADER.size :]
+        if header[:4] == MAGIC:
+            magic, rtype, flags, frame_index, payload_len = _HEADER.unpack(header)
+            (header_crc,) = _CRC.unpack(crc_bytes)
+            if (
+                zlib.crc32(header) == header_crc
+                and rtype in _KNOWN_TYPES
+                and payload_len <= MAX_PAYLOAD
+            ):
+                break
+        # Corrupted header: slide one byte and scan for the next magic.
+        skipped += 1
+        if skipped > _MAX_RESYNC:
+            raise ProtocolError("no valid record header found while resynchronizing")
+        prefix = prefix[1:] + recv_exact(conn, 1)
+    payload = b""
+    if payload_len:
+        payload = recv_exact(conn, payload_len)
+        (payload_crc,) = _CRC.unpack(recv_exact(conn, _CRC.size))
+        actual = zlib.crc32(payload)
+        if actual != payload_crc:
+            raise CorruptPayloadError(frame_index, payload, payload_crc, actual)
+    return Record(rtype, frame_index, flags, payload, resync_skipped=skipped)

@@ -1,42 +1,63 @@
-"""The DBGC server: receive, decompress (or store raw), persist.
+"""The DBGC server: receive, decompress (or store raw), persist — and survive.
 
-Frames arrive over TCP as length-prefixed messages.  The server either
-decompresses each bit sequence and stores the cloud, or bypasses
-decompression and stores the payload directly (both modes appear in the
-paper's Figure 2).
+Frames arrive over TCP as protocol-v2 records (see
+:mod:`repro.system.protocol`).  The server either decompresses each bit
+sequence and stores the cloud, or bypasses decompression and stores the
+payload directly (both modes appear in the paper's Figure 2).
+
+Unlike the v1 prototype (one connection, thread dies on the first bad
+byte), this server is built for a lossy uplink:
+
+- the accept loop survives client disconnects and reconnects;
+- a corrupt or undecodable payload is *quarantined* — recorded with its
+  bytes and exception — and serving continues;
+- retransmitted frames are deduplicated by frame index, making client
+  retries idempotent;
+- every frame is acknowledged, so the client can detect loss.
 """
 
 from __future__ import annotations
 
 import socket
-import struct
 import threading
 import time
+from dataclasses import dataclass, field
 
 from repro.core.pipeline import DBGCDecompressor
+from repro.system.faults import FaultyChannel
+from repro.system.protocol import (
+    ACK_DUPLICATE,
+    ACK_QUARANTINED,
+    ACK_STORED,
+    TYPE_ACK,
+    TYPE_END,
+    TYPE_FRAME,
+    CorruptPayloadError,
+    ProtocolError,
+    encode_record,
+    read_record,
+    recv_exact,
+)
 from repro.system.storage import FileFrameStore, SqliteFrameStore
 
-__all__ = ["DbgcServer", "recv_exact"]
-
-_FRAME_HEADER = struct.Struct("<II")
-_END_MARKER = 0xFFFFFFFF
+__all__ = ["DbgcServer", "QuarantinedFrame", "recv_exact"]
 
 
-def recv_exact(conn: socket.socket, n: int) -> bytes:
-    """Read exactly ``n`` bytes or raise ``ConnectionError``."""
-    chunks = []
-    remaining = n
-    while remaining:
-        chunk = conn.recv(remaining)
-        if not chunk:
-            raise ConnectionError("peer closed mid-message")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+@dataclass(frozen=True)
+class QuarantinedFrame:
+    """A payload the server refused to store, kept for forensics."""
+
+    frame_index: int
+    payload: bytes = field(repr=False)
+    error: str
+    received_at: float
+
+    def __str__(self) -> str:
+        return f"frame {self.frame_index}: {self.error} ({len(self.payload)} bytes kept)"
 
 
 class DbgcServer:
-    """A one-connection frame sink running on a background thread.
+    """A fault-tolerant frame sink running on a background thread.
 
     Parameters
     ----------
@@ -47,6 +68,16 @@ class DbgcServer:
         ``"store"`` — store compressed payloads directly.
     host, port:
         Listen address; port 0 picks a free port (see :attr:`address`).
+    channel:
+        Optional :class:`~repro.system.faults.FaultyChannel`; when given,
+        its ``drop_ack`` plan is consulted before each acknowledgement so
+        ACK loss (and the client's retransmit + server dedupe path) can
+        be exercised deterministically.
+
+    Thread-safety: the serve thread appends to :attr:`receipts`,
+    :attr:`quarantine`, and :attr:`events` while the driver may read them;
+    all access goes through :attr:`lock`.  Use :meth:`snapshot` for a
+    consistent copy, or read after :meth:`join` returns.
     """
 
     def __init__(
@@ -55,60 +86,179 @@ class DbgcServer:
         mode: str = "decompress",
         host: str = "127.0.0.1",
         port: int = 0,
+        channel: FaultyChannel | None = None,
     ) -> None:
         if mode not in ("decompress", "store"):
             raise ValueError(f"unknown server mode {mode!r}")
         self.store = store
         self.mode = mode
+        self.channel = channel
         self._decompressor = DBGCDecompressor()
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._listener.bind((host, port))
-        self._listener.listen(1)
+        try:
+            self._listener.bind((host, port))
+            self._listener.listen(8)
+            self._address: tuple[str, int] = self._listener.getsockname()
+        except BaseException:
+            self._listener.close()
+            raise
         self._thread: threading.Thread | None = None
         self._error: BaseException | None = None
-        #: (frame_index, payload_bytes, received_at, stored_at) per frame.
+        self._stop = threading.Event()
+        self._conn: socket.socket | None = None
+        self._seen: set[int] = set()
+        self._ack_counts: dict[int, int] = {}
+        #: Guards receipts / quarantine / events against the serve thread.
+        self.lock = threading.Lock()
+        #: (frame_index, payload_bytes, received_at, stored_at) per stored frame.
         self.receipts: list[tuple[int, int, float, float]] = []
+        #: Payloads rejected with their exception text and bytes.
+        self.quarantine: list[QuarantinedFrame] = []
+        #: Connection-level happenings: ("accept"|"disconnect"|"duplicate"|
+        #: "resync"|"end", detail) in serve order.
+        self.events: list[tuple[str, str]] = []
+        #: Connections accepted over the server's lifetime.
+        self.connections = 0
 
     @property
     def address(self) -> tuple[str, int]:
-        return self._listener.getsockname()
+        return self._address
 
     def start(self) -> "DbgcServer":
-        """Begin accepting one client connection in the background."""
-        self._thread = threading.Thread(target=self._serve, daemon=True)
-        self._thread.start()
+        """Begin accepting client connections in the background."""
+        if self._thread is None:
+            self._thread = threading.Thread(target=self._serve, daemon=True)
+            self._thread.start()
         return self
+
+    def __enter__(self) -> "DbgcServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- serve loop ----------------------------------------------------
+
+    def _note(self, kind: str, detail: str = "") -> None:
+        with self.lock:
+            self.events.append((kind, detail))
 
     def _serve(self) -> None:
         try:
-            conn, _ = self._listener.accept()
-            with conn:
-                while True:
-                    header = recv_exact(conn, _FRAME_HEADER.size)
-                    frame_index, size = _FRAME_HEADER.unpack(header)
-                    if frame_index == _END_MARKER:
-                        break
-                    payload = recv_exact(conn, size)
-                    received_at = time.perf_counter()
-                    if self.mode == "decompress":
-                        cloud = self._decompressor.decompress(payload)
-                        self.store.put_cloud(frame_index, cloud)
-                    else:
-                        self.store.put_payload(frame_index, payload)
-                    self.receipts.append(
-                        (frame_index, size, received_at, time.perf_counter())
-                    )
-        except BaseException as exc:  # surfaced via join()
+            while not self._stop.is_set():
+                try:
+                    conn, peer = self._listener.accept()
+                except OSError:
+                    break  # listener closed by close()
+                self._conn = conn
+                self.connections += 1
+                self._note("accept", f"connection {self.connections} from {peer[1]}")
+                try:
+                    if self._handle_connection(conn):
+                        break  # END record: stream complete
+                finally:
+                    self._conn = None
+                    conn.close()
+        except BaseException as exc:  # pragma: no cover - surfaced via join()
             self._error = exc
         finally:
             self._listener.close()
 
+    def _handle_connection(self, conn: socket.socket) -> bool:
+        """Serve one connection; True when the stream ended cleanly."""
+        while not self._stop.is_set():
+            try:
+                record = read_record(conn)
+            except CorruptPayloadError as exc:
+                received_at = time.perf_counter()
+                self._quarantine(exc.frame_index, exc.payload, exc, received_at)
+                self._ack(conn, exc.frame_index, ACK_QUARANTINED)
+                continue
+            except (ConnectionError, TimeoutError, ProtocolError, OSError) as exc:
+                self._note("disconnect", repr(exc))
+                return False
+            if record.resync_skipped:
+                self._note("resync", f"skipped {record.resync_skipped} garbage bytes")
+            if record.type == TYPE_END:
+                self._note("end", "")
+                self._ack(conn, record.frame_index, ACK_STORED)
+                return True
+            if record.type == TYPE_FRAME:
+                self._ingest(conn, record.frame_index, record.payload)
+            # Anything else (stray ACK echoes) is ignored.
+        return True
+
+    def _ingest(self, conn: socket.socket, frame_index: int, payload: bytes) -> None:
+        received_at = time.perf_counter()
+        if frame_index in self._seen:
+            # Retransmission of a frame that already made it: idempotent.
+            self._note("duplicate", f"frame {frame_index}")
+            self._ack(conn, frame_index, ACK_DUPLICATE)
+            return
+        try:
+            if self.mode == "decompress":
+                cloud = self._decompressor.decompress(payload)
+                self.store.put_cloud(frame_index, cloud)
+            else:
+                self.store.put_payload(frame_index, payload)
+        except Exception as exc:
+            # Undecodable despite an intact CRC: quarantine, keep serving.
+            self._quarantine(frame_index, payload, exc, received_at)
+            self._ack(conn, frame_index, ACK_QUARANTINED)
+            return
+        self._seen.add(frame_index)
+        with self.lock:
+            self.receipts.append(
+                (frame_index, len(payload), received_at, time.perf_counter())
+            )
+        self._ack(conn, frame_index, ACK_STORED)
+
+    def _quarantine(
+        self, frame_index: int, payload: bytes, exc: BaseException, received_at: float
+    ) -> None:
+        with self.lock:
+            self.quarantine.append(
+                QuarantinedFrame(frame_index, payload, repr(exc), received_at)
+            )
+
+    def _ack(self, conn: socket.socket, frame_index: int, status: int) -> None:
+        if self.channel is not None:
+            ordinal = self._ack_counts.get(frame_index, 0)
+            self._ack_counts[frame_index] = ordinal + 1
+            if self.channel.drop_ack(frame_index, ordinal):
+                return  # injected ACK loss; the client will retransmit
+        try:
+            conn.sendall(encode_record(TYPE_ACK, frame_index, flags=status))
+        except OSError:
+            pass  # client already gone; it will retransmit on reconnect
+
+    # -- driver-side API ----------------------------------------------
+
+    def snapshot(self) -> tuple[list, list, list]:
+        """A consistent (receipts, quarantine, events) copy under the lock."""
+        with self.lock:
+            return list(self.receipts), list(self.quarantine), list(self.events)
+
     def join(self, timeout: float = 30.0) -> None:
-        """Wait for the client to disconnect; re-raise any server error."""
+        """Wait for the stream to end; re-raise any fatal server error."""
         if self._thread is not None:
             self._thread.join(timeout)
             if self._thread.is_alive():
                 raise TimeoutError("server did not finish in time")
         if self._error is not None:
             raise self._error
+
+    def close(self) -> None:
+        """Stop serving: unblock the accept/recv loops and join the thread."""
+        self._stop.set()
+        self._listener.close()
+        conn = self._conn
+        if conn is not None:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+        if self._thread is not None:
+            self._thread.join(5.0)

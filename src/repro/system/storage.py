@@ -46,6 +46,10 @@ class FileFrameStore:
         with np.load(self.root / f"frame_{frame_index:06d}.npz") as data:
             return PointCloud(data["xyz"])
 
+    def frame_indices(self) -> list[int]:
+        """Sorted indices of every stored frame (dedupe/audit aid)."""
+        return sorted(int(p.stem.split("_")[1]) for p in self.root.glob("frame_*"))
+
     def __len__(self) -> int:
         return len(list(self.root.glob("frame_*")))
 
@@ -97,8 +101,21 @@ class SqliteFrameStore:
         n_points, blob = row
         return PointCloud(np.frombuffer(blob, dtype=np.float64).reshape(n_points, 3))
 
+    def frame_indices(self) -> list[int]:
+        """Sorted indices of every stored frame (dedupe/audit aid)."""
+        rows = self._conn.execute(
+            "SELECT frame_index FROM frames ORDER BY frame_index"
+        ).fetchall()
+        return [row[0] for row in rows]
+
     def __len__(self) -> int:
         return self._conn.execute("SELECT COUNT(*) FROM frames").fetchone()[0]
+
+    def __enter__(self) -> "SqliteFrameStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def close(self) -> None:
         self._conn.close()

@@ -84,3 +84,27 @@ class TestBench:
         assert main(["bench", "--input", str(frame_file), "--sensor-scale", "0.2",
                      "--q", "0.05"]) == 0
         assert "DBGC" in capsys.readouterr().out
+
+
+class TestStream:
+    def test_clean_stream(self, capsys):
+        assert main(["stream", "--scene", "kitti-road", "--frames", "2",
+                     "--sensor-scale", "0.15", "--mode", "store",
+                     "--bandwidth", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "stored 2/2 frames" in out
+        assert "retries     : 0" in out
+        assert "quarantined : 0" in out
+
+    def test_faulty_stream_accounts_for_every_frame(self, capsys):
+        assert main(["stream", "--scene", "kitti-road", "--frames", "3",
+                     "--sensor-scale", "0.15", "--mode", "store",
+                     "--corrupt-rate", "0.5", "--disconnect-frames", "1",
+                     "--fault-seed", "4", "--ack-timeout", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "retries     : 1" in out  # the forced disconnect on frame 1
+        assert "quarantine: frame" in out  # seeded corruption surfaced
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["stream", "--policy", "teleport"])
