@@ -6,9 +6,8 @@ not fit a 4G uplink, the compressed stream does, and the pipeline stores
 frames online.
 """
 
-import pytest
-
 from benchmarks.common import frame, write_result
+from repro import observability as obs
 from repro.core import DBGCParams
 from repro.datasets import SensorModel
 from repro.eval import peak_rss_bytes, render_table
@@ -31,17 +30,25 @@ def test_e2e_system(benchmark):
     uplink = BandwidthShaper.mobile_4g()
 
     def run_pipeline():
-        store = SqliteFrameStore()
-        server = DbgcServer(store, mode="decompress").start()
-        client = DbgcClient(
-            server.address, params=DBGCParams(q_xyz=Q), channel=uplink
-        )
-        for index, cloud in enumerate(frames):
-            client.send_frame(index, cloud)
-        client.close()
-        server.join()
-        client.merge_receipts(server.receipts)
-        assert len(store) == N_FRAMES
+        # One observability recording spans compression, transport, and
+        # the server: its counters must reconcile with the PipelineReport.
+        with obs.recording() as recorder:
+            store = SqliteFrameStore()
+            server = DbgcServer(store, mode="decompress").start()
+            client = DbgcClient(
+                server.address, params=DBGCParams(q_xyz=Q), channel=uplink
+            )
+            for index, cloud in enumerate(frames):
+                client.send_frame(index, cloud)
+            client.close()
+            server.join()
+            client.merge_receipts(server.receipts)
+            assert len(store) == N_FRAMES
+        metrics = obs.report_dict(recorder)
+        obs.validate_report(metrics)
+        assert metrics["counters"]["compress.frames"] == N_FRAMES
+        assert metrics["counters"]["transport.stored"] == client.report.n_stored
+        assert metrics["counters"]["server.stored"] == N_FRAMES
         return client.report
 
     report = benchmark.pedantic(run_pipeline, rounds=1, iterations=1)

@@ -12,7 +12,6 @@ least 2x faster than adaptive arithmetic at a size within 2%.
 import time
 
 import numpy as np
-import pytest
 
 from benchmarks.common import frame, write_result
 from repro.core import DBGCParams

@@ -7,8 +7,6 @@ choice near the top.  The Section 4.3 point split (dense/sparse/outlier
 percentages) is reported alongside.
 """
 
-import pytest
-
 from benchmarks.common import frame, write_result
 from repro.eval.experiments import fig10_split
 from repro.eval.harness import DbgcGeometryCompressor

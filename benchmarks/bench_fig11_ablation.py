@@ -6,8 +6,6 @@ bounds (-Radial ~88%, -Group ~85%, -Conversion ~29% of DBGC on average).
 See EXPERIMENTS.md for the measured-vs-paper magnitude analysis.
 """
 
-import pytest
-
 from benchmarks.common import frame, write_result
 from repro.core import DBGCParams
 from repro.eval.experiments import fig11_ablation

@@ -6,8 +6,6 @@ shape is the method ordering and the mild decrease of DBGC's times as the
 bound grows.
 """
 
-import pytest
-
 from benchmarks.common import frame, write_result
 from repro.eval import render_series, run_timing_sweep
 

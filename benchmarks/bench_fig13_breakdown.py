@@ -12,6 +12,7 @@ import pytest
 from benchmarks.common import frame, write_result
 from repro.eval.experiments import fig13_breakdown
 from repro.eval.harness import DbgcGeometryCompressor
+from repro.observability import stage_totals, validate_report
 
 
 def test_fig13_breakdown(benchmark):
@@ -28,6 +29,15 @@ def test_fig13_breakdown(benchmark):
     assert (timings["den"] + timings["org"] + timings["spa"]) / total > 0.6
     dec = result.data["decompress_timings"]
     assert dec["spa"] == max(dec.values())
+    # The figure now rides on the observability report: the attached
+    # report must be schema-valid and agree with the published timings.
+    report = result.data["report"]
+    validate_report(report)
+    compress_spans = stage_totals(report, "dbgc.compress")
+    assert compress_spans["dbgc.den"] == pytest.approx(timings["den"])
+    assert compress_spans["sparse.spa"] == pytest.approx(timings["spa"])
+    assert report["counters"]["compress.frames"] == 1
+    assert report["counters"]["decompress.frames"] == 1
     fresh = DbgcGeometryCompressor(0.02)
     benchmark.pedantic(
         fresh.compress, args=(frame("kitti-city"),), rounds=1, iterations=1

@@ -6,8 +6,6 @@ point density falls with radius cubed — the observation motivating the
 dense/sparse split.
 """
 
-import pytest
-
 from benchmarks.common import frame, write_result
 from repro.baselines import OctreeCompressor
 from repro.eval.experiments import fig3_radius

@@ -5,8 +5,6 @@ after its own calibration; these benches regenerate the trade-off curves
 on a synthetic frame so the defaults can be sanity-checked per dataset.
 """
 
-import pytest
-
 from benchmarks.common import frame, write_result
 from repro.core import DBGCParams
 from repro.eval import DbgcGeometryCompressor, render_series

@@ -6,8 +6,6 @@ them uncompressed, at q = 2 cm.  Paper shape: Outlier >= Octree >> None
 (the first two within a fraction of a percent, as in the paper's table).
 """
 
-import pytest
-
 from benchmarks.common import frame, write_result
 from repro.core import DBGCParams
 from repro.eval.experiments import table2_outliers

@@ -18,6 +18,7 @@ All commands run offline; see ``dbgc <command> --help`` for options.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 from pathlib import Path
@@ -82,7 +83,22 @@ def _add_sensor_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _emit_metrics(recorder, dest: str) -> None:
+    """Write the observability report as JSON; ``-`` prints to stdout."""
+    from repro import observability as obs
+
+    text = obs.to_json(recorder)
+    if dest == "-":
+        print(text)
+    else:
+        Path(dest).write_text(text + "\n")
+        print(f"metrics report -> {dest}")
+        print(obs.ascii_breakdown(recorder))
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
+    from repro import observability as obs
+
     cloud = _load_cloud(Path(args.input))
     params = DBGCParams(
         q_xyz=args.q,
@@ -91,7 +107,12 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     )
     compressor = DBGCCompressor(params, sensor=_sensor_from_args(args))
     start = time.perf_counter()
-    result = compressor.compress_detailed(cloud)
+    if args.metrics:
+        with obs.recording() as recorder:
+            result = compressor.compress_detailed(cloud)
+    else:
+        recorder = None
+        result = compressor.compress_detailed(cloud)
     elapsed = time.perf_counter() - start
     Path(args.output).write_bytes(result.payload)
     print(
@@ -102,6 +123,8 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         f"  dense {result.n_dense} / sparse {result.n_sparse} / "
         f"outliers {result.n_outliers}; q = {args.q} m"
     )
+    if recorder is not None:
+        _emit_metrics(recorder, args.metrics)
     return 0
 
 
@@ -235,6 +258,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         SqliteFrameStore,
     )
 
+    from repro import observability as obs
+
     sensor = _sensor_from_args(args)
     shaper = BandwidthShaper(args.bandwidth) if args.bandwidth > 0 else None
     disconnect_frames = frozenset(
@@ -252,28 +277,32 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
     store = SqliteFrameStore(args.store if args.store else ":memory:")
     server_channel = channel if isinstance(channel, FaultyChannel) else None
-    with DbgcServer(store, mode=args.mode, channel=server_channel) as server:
-        with DbgcClient(
-            server.address,
-            params=DBGCParams(q_xyz=args.q),
-            sensor=sensor,
-            channel=channel,
-            queue_capacity=args.queue_capacity,
-            overflow_policy=args.policy,
-            ack_timeout=args.ack_timeout,
-            backoff_base=0.02,
-        ) as client:
-            frames = generate_frames(
-                args.scene, args.frames, sensor=sensor, seed=args.seed
-            )
-            for index, cloud in enumerate(frames):
-                trace = client.send_frame(index, cloud)
-                print(
-                    f"frame {index}: {len(cloud)} points, "
-                    f"{trace.payload_bytes} B queued"
+    # The recording block spans client, server, and sender threads: one
+    # shared report covers compression spans and transport counters.
+    metrics_ctx = obs.recording() if args.metrics else contextlib.nullcontext()
+    with metrics_ctx as recorder:
+        with DbgcServer(store, mode=args.mode, channel=server_channel) as server:
+            with DbgcClient(
+                server.address,
+                params=DBGCParams(q_xyz=args.q),
+                sensor=sensor,
+                channel=channel,
+                queue_capacity=args.queue_capacity,
+                overflow_policy=args.policy,
+                ack_timeout=args.ack_timeout,
+                backoff_base=0.02,
+            ) as client:
+                frames = generate_frames(
+                    args.scene, args.frames, sensor=sensor, seed=args.seed
                 )
-        server.join()
-    client.merge_receipts(server.receipts)
+                for index, cloud in enumerate(frames):
+                    trace = client.send_frame(index, cloud)
+                    print(
+                        f"frame {index}: {len(cloud)} points, "
+                        f"{trace.payload_bytes} B queued"
+                    )
+            server.join()
+        client.merge_receipts(server.receipts)
 
     report = client.report
     print(f"\nstored {report.n_stored}/{args.frames} frames "
@@ -292,6 +321,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         verdict = "fits" if mbps <= shaper.bandwidth_mbps else "exceeds"
         print(f"stream needs {mbps:.2f} Mbps; {verdict} the "
               f"{shaper.bandwidth_mbps:g} Mbps uplink")
+    if recorder is not None:
+        _emit_metrics(recorder, args.metrics)
     # Every frame must be accounted for: stored, quarantined, or dropped.
     accounted = report.n_stored + report.n_quarantined + report.n_dropped
     return 0 if accounted == args.frames else 1
@@ -318,6 +349,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="adaptive-arith",
         choices=available_backends(),
         help="entropy coder for the compressed streams",
+    )
+    p.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default="",
+        help="write an observability JSON report to PATH ('-' for stdout)",
     )
     _add_sensor_arg(p)
     p.set_defaults(func=_cmd_compress)
@@ -416,6 +453,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--disconnect-frames", default="",
         help="comma-separated frame indices whose first send is cut mid-record",
+    )
+    p.add_argument(
+        "--metrics",
+        metavar="PATH",
+        nargs="?",
+        const="-",
+        default="",
+        help="emit an observability JSON report (to PATH, or stdout if bare)",
     )
     _add_sensor_arg(p)
     p.set_defaults(func=_cmd_stream)

@@ -146,29 +146,38 @@ def cluster_approx(xyz: np.ndarray, eps: float, min_pts: int) -> np.ndarray:
         | (cells[:, 2] + (1 << 20))
     )
     unique_keys, inverse, counts = np.unique(keys, return_inverse=True, return_counts=True)
-    count_of = dict(zip(unique_keys.tolist(), counts.tolist()))
     # Arithmetic (not bitwise) composition: negative components must borrow
     # across the packed 21-bit fields.
-    offsets = [
-        dx * (1 << 42) + dy * (1 << 21) + dz
-        for dx in (-1, 0, 1)
-        for dy in (-1, 0, 1)
-        for dz in (-1, 0, 1)
-    ]
-    unique_list = unique_keys.tolist()
-    neighborhood = np.zeros(len(unique_list), dtype=np.int64)
+    offsets = np.array(
+        [
+            dx * (1 << 42) + dy * (1 << 21) + dz
+            for dx in (-1, 0, 1)
+            for dy in (-1, 0, 1)
+            for dz in (-1, 0, 1)
+        ],
+        dtype=np.int64,
+    )
+    # np.unique returns sorted keys, so each offset's occupancy lookup is a
+    # single searchsorted over all occupied cells at once — no Python loop
+    # over cells, just 27 vectorized passes.
+    neighborhood = np.zeros(len(unique_keys), dtype=np.int64)
     for offset in offsets:
-        for i, key in enumerate(unique_list):
-            neighborhood[i] += count_of.get(key + offset, 0)
+        shifted = unique_keys + offset
+        idx = np.searchsorted(unique_keys, shifted)
+        idx_clipped = np.minimum(idx, len(unique_keys) - 1)
+        hit = unique_keys[idx_clipped] == shifted
+        neighborhood += np.where(hit, counts[idx_clipped], 0)
     dense_cell = neighborhood >= min_pts
-    # Dilation: a cell adjacent to a dense cell becomes dense.
-    dense_set = {k for k, d in zip(unique_list, dense_cell.tolist()) if d}
+    # Dilation: a cell adjacent to a dense cell becomes dense.  dense_keys
+    # is a subsequence of the sorted unique_keys, so it is itself sorted.
+    dense_keys = unique_keys[dense_cell]
     dilated = dense_cell.copy()
-    for i, key in enumerate(unique_list):
-        if dilated[i]:
-            continue
-        if any(key + offset in dense_set for offset in offsets):
-            dilated[i] = True
+    if len(dense_keys):
+        for offset in offsets:
+            shifted = unique_keys + offset
+            idx = np.searchsorted(dense_keys, shifted)
+            idx_clipped = np.minimum(idx, len(dense_keys) - 1)
+            dilated |= dense_keys[idx_clipped] == shifted
     return dilated[inverse]
 
 

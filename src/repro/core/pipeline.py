@@ -15,11 +15,11 @@ permutation, recomputable at compression time without costing stream bits.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import observability as obs
 from repro.core.attributes import (
     DEFAULT_ATTRIBUTE_STEP,
     decode_attributes,
@@ -50,6 +50,7 @@ class CompressionResult:
     #: Original-index -> decoded-index permutation.
     mapping: np.ndarray
     #: Stage wall-clock seconds: den, oct, cor, org, spa, out (Figure 13).
+    #: Derived from the observability span tree (see docs/OBSERVABILITY.md).
     timings: dict[str, float] = field(default_factory=dict)
     #: Component byte sizes: dense, sparse, outlier, plus per-stream detail.
     stream_sizes: dict[str, int] = field(default_factory=dict)
@@ -133,90 +134,113 @@ class DBGCCompressor:
         attributes: dict[str, np.ndarray] | None = None,
         attribute_steps: dict[str, float] | float = DEFAULT_ATTRIBUTE_STEP,
     ) -> CompressionResult:
-        """Compress and report sizes, timings and the point correspondence."""
+        """Compress and report sizes, timings and the point correspondence.
+
+        Stage timings come from the observability span tree: inside an
+        :func:`repro.observability.recording` block the spans join the
+        process-global report; otherwise a thread-scoped recorder backs
+        just this call.  ``timings``/``stream_sizes`` are the span-tree
+        query results either way, so the Figure 13 breakdown and the
+        ``--metrics`` report can never disagree.
+        """
         params = self.params
         xyz = cloud.xyz
         n = len(xyz)
-        timings: dict[str, float] = {}
         sizes: dict[str, int] = {}
 
-        t0 = time.perf_counter()
-        dense_mask = self._classify(xyz)
-        timings["den"] = time.perf_counter() - t0
+        with obs.ensure_recorder() as recorder, recorder.span("dbgc.compress") as root:
+            recorder.count("compress.frames")
+            recorder.count("compress.points_in", n)
 
-        dense_idx = np.flatnonzero(dense_mask)
-        sparse_idx = np.flatnonzero(~dense_mask)
+            with recorder.span("dbgc.den"):
+                dense_mask = self._classify(xyz)
 
-        t0 = time.perf_counter()
-        octree = OctreeCodec(params.leaf_side, backend=params.entropy_backend)
-        dense_payload = octree.encode(xyz[dense_idx])
-        mapping = np.empty(n, dtype=np.int64)
-        if len(dense_idx):
-            mapping[dense_idx] = octree.mapping(xyz[dense_idx])
-        timings["oct"] = time.perf_counter() - t0
-        sizes["dense"] = len(dense_payload)
+            dense_idx = np.flatnonzero(dense_mask)
+            sparse_idx = np.flatnonzero(~dense_mask)
+            recorder.count("compress.points_dense", len(dense_idx))
 
-        # Radial grouping of sparse points (Section 3.5, Point Grouping).
-        radii = np.linalg.norm(xyz[sparse_idx], axis=1) if len(sparse_idx) else None
-        groups = (
-            split_into_groups(radii, params.effective_n_groups)
-            if len(sparse_idx)
-            else []
-        )
+            with recorder.span("dbgc.oct"):
+                octree = OctreeCodec(params.leaf_side, backend=params.entropy_backend)
+                dense_payload = octree.encode(xyz[dense_idx])
+                mapping = np.empty(n, dtype=np.int64)
+                if len(dense_idx):
+                    mapping[dense_idx] = octree.mapping(xyz[dense_idx])
+            sizes["dense"] = len(dense_payload)
+            recorder.add_bytes("stream.dense", len(dense_payload))
 
-        timings["cor"] = 0.0
-        timings["org"] = 0.0
-        timings["spa"] = 0.0
-        group_payloads: list[bytes] = []
-        outlier_global: list[np.ndarray] = []
-        offset = len(dense_idx)
-        n_sparse_coded = 0
-        for group_local in groups:
-            group_global = sparse_idx[group_local]
-            encoding = encode_sparse_group(
-                xyz[group_global], params, self.u_theta, self.u_phi
+            # Radial grouping of sparse points (Section 3.5, Point Grouping).
+            radii = np.linalg.norm(xyz[sparse_idx], axis=1) if len(sparse_idx) else None
+            groups = (
+                split_into_groups(radii, params.effective_n_groups)
+                if len(sparse_idx)
+                else []
             )
-            group_payloads.append(encoding.payload)
-            for stage in ("cor", "org", "spa"):
-                timings[stage] += encoding.timings.get(stage, 0.0)
-            for name, size in encoding.stream_sizes.items():
-                sizes[name] = sizes.get(name, 0) + size
-            ordered_global = group_global[encoding.order]
-            mapping[ordered_global] = offset + np.arange(len(ordered_global))
-            offset += len(ordered_global)
-            n_sparse_coded += len(ordered_global)
-            if len(encoding.outlier_indices):
-                outlier_global.append(group_global[encoding.outlier_indices])
-        sizes["sparse"] = sum(len(p) for p in group_payloads)
 
-        t0 = time.perf_counter()
-        outliers = (
-            np.concatenate(outlier_global)
-            if outlier_global
-            else np.empty(0, dtype=np.int64)
-        )
-        outlier_payload, outlier_mapping = encode_outliers(xyz[outliers], params)
-        if len(outliers):
-            mapping[outliers] = offset + outlier_mapping
-        timings["out"] = time.perf_counter() - t0
-        sizes["outlier"] = len(outlier_payload)
+            group_payloads: list[bytes] = []
+            outlier_global: list[np.ndarray] = []
+            offset = len(dense_idx)
+            n_sparse_coded = 0
+            for group_local in groups:
+                group_global = sparse_idx[group_local]
+                encoding = encode_sparse_group(
+                    xyz[group_global], params, self.u_theta, self.u_phi
+                )
+                group_payloads.append(encoding.payload)
+                for name, size in encoding.stream_sizes.items():
+                    sizes[name] = sizes.get(name, 0) + size
+                ordered_global = group_global[encoding.order]
+                mapping[ordered_global] = offset + np.arange(len(ordered_global))
+                offset += len(ordered_global)
+                n_sparse_coded += len(ordered_global)
+                if len(encoding.outlier_indices):
+                    outlier_global.append(group_global[encoding.outlier_indices])
+            sizes["sparse"] = sum(len(p) for p in group_payloads)
+            recorder.add_bytes("stream.sparse", sizes["sparse"])
+            recorder.count("compress.points_sparse", n_sparse_coded)
 
-        attribute_payload = b""
-        if attributes:
-            attribute_payload = encode_attributes(
-                attributes, mapping, attribute_steps, backend=params.entropy_backend
+            with recorder.span("dbgc.out"):
+                outliers = (
+                    np.concatenate(outlier_global)
+                    if outlier_global
+                    else np.empty(0, dtype=np.int64)
+                )
+                outlier_payload, outlier_mapping = encode_outliers(xyz[outliers], params)
+                if len(outliers):
+                    mapping[outliers] = offset + outlier_mapping
+            sizes["outlier"] = len(outlier_payload)
+            recorder.add_bytes("stream.outlier", len(outlier_payload))
+            recorder.count("compress.points_outlier", len(outliers))
+
+            attribute_payload = b""
+            if attributes:
+                with recorder.span("dbgc.attr"):
+                    attribute_payload = encode_attributes(
+                        attributes, mapping, attribute_steps, backend=params.entropy_backend
+                    )
+                sizes["attributes"] = len(attribute_payload)
+                recorder.add_bytes("stream.attributes", len(attribute_payload))
+
+            payload = pack_container(
+                params,
+                self.u_theta,
+                self.u_phi,
+                dense_payload,
+                group_payloads,
+                outlier_payload,
+                attribute_payload,
             )
-            sizes["attributes"] = len(attribute_payload)
+            recorder.count("compress.payload_bytes", len(payload))
 
-        payload = pack_container(
-            params,
-            self.u_theta,
-            self.u_phi,
-            dense_payload,
-            group_payloads,
-            outlier_payload,
-            attribute_payload,
-        )
+        # The Figure 13 stage breakdown is a query over the span tree.
+        timings = {
+            "den": root.total("dbgc.den"),
+            "oct": root.total("dbgc.oct"),
+            "cor": root.total("sparse.cor"),
+            "org": root.total("sparse.org"),
+            "spa": root.total("sparse.spa"),
+            "out": root.total("dbgc.out"),
+        }
+        recorder.observe("compress.seconds", root.duration)
         return CompressionResult(
             payload=payload,
             n_points=n,
@@ -246,26 +270,37 @@ class DBGCDecompressor:
         return cloud, decode_attributes(attribute_payload)
 
     def decompress_detailed(self, data: bytes) -> tuple[PointCloud, dict[str, float]]:
-        """Decompress and report per-component wall-clock times."""
-        header, dense_payload, group_payloads, outlier_payload, _ = unpack_container(
-            data
-        )
-        params = header.to_params()
-        timings: dict[str, float] = {}
+        """Decompress and report per-component wall-clock times.
 
-        t0 = time.perf_counter()
-        dense = OctreeCodec(params.leaf_side).decode(dense_payload)
-        timings["oct"] = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        chunks = [dense]
-        for payload in group_payloads:
-            chunks.append(
-                decode_sparse_group(payload, params, header.u_theta, header.u_phi)
+        Like :meth:`DBGCCompressor.compress_detailed`, the timings are a
+        query over the observability span tree.
+        """
+        with obs.ensure_recorder() as recorder, recorder.span("dbgc.decompress") as root:
+            recorder.count("decompress.frames")
+            header, dense_payload, group_payloads, outlier_payload, _ = unpack_container(
+                data
             )
-        timings["spa"] = time.perf_counter() - t0
+            params = header.to_params()
 
-        t0 = time.perf_counter()
-        chunks.append(decode_outliers(outlier_payload, params))
-        timings["out"] = time.perf_counter() - t0
-        return PointCloud(np.vstack(chunks)), timings
+            with recorder.span("dbgc.oct"):
+                dense = OctreeCodec(params.leaf_side).decode(dense_payload)
+
+            with recorder.span("dbgc.spa"):
+                chunks = [dense]
+                for payload in group_payloads:
+                    chunks.append(
+                        decode_sparse_group(payload, params, header.u_theta, header.u_phi)
+                    )
+
+            with recorder.span("dbgc.out"):
+                chunks.append(decode_outliers(outlier_payload, params))
+            cloud = PointCloud(np.vstack(chunks))
+            recorder.count("decompress.points_out", len(cloud))
+
+        timings = {
+            "oct": root.total("dbgc.oct"),
+            "spa": root.total("dbgc.spa"),
+            "out": root.total("dbgc.out"),
+        }
+        recorder.observe("decompress.seconds", root.duration)
+        return cloud, timings

@@ -24,11 +24,11 @@ what the ablation isolates.
 from __future__ import annotations
 
 import struct
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import observability as obs
 from repro.core.params import DBGCParams
 from repro.core.polyline import organize_polylines
 from repro.core.reference import (
@@ -76,7 +76,10 @@ class GroupEncoding:
     #: Stream sizes by name, for the breakdown reporting.
     stream_sizes: dict[str, int] = field(default_factory=dict)
     #: Stage wall-clock times: COR (conversion), ORG (organization),
-    #: SPA (stream coding) — the Figure 13 breakdown slots.
+    #: SPA (stream coding) — the Figure 13 breakdown slots.  Durations of
+    #: the ``sparse.cor`` / ``sparse.org`` / ``sparse.spa`` spans; zero
+    #: when no observability recorder is active (the pipeline always
+    #: installs one around :func:`encode_sparse_group`).
     timings: dict[str, float] = field(default_factory=dict)
 
 
@@ -185,31 +188,29 @@ def encode_sparse_group(
         encode_uvarint(0, out)
         return GroupEncoding(bytes(out), np.empty(0, np.int64), np.empty(0, np.int64))
 
-    t0 = time.perf_counter()
-    tpr = cartesian_to_spherical(xyz_group)
-    theta, phi, radius = tpr[:, 0], tpr[:, 1], tpr[:, 2]
-    t_cor = time.perf_counter() - t0
+    with obs.span("sparse.cor") as sp_cor:
+        tpr = cartesian_to_spherical(xyz_group)
+        theta, phi, radius = tpr[:, 0], tpr[:, 1], tpr[:, 2]
 
-    t0 = time.perf_counter()
-    if params.spherical_conversion:
-        all_lines = organize_polylines(theta, phi, xyz_group, u_theta, u_phi)
-    else:
-        # -Conversion ablation: extract polylines in the Cartesian system
-        # (x plays the scan axis, y the line-grouping axis).  The window is
-        # the typical along-scan spacing at the group's median range; rings
-        # are circles in the xy plane, so extraction fragments badly — the
-        # effect the ablation quantifies.
-        window = max(float(np.median(radius)) * u_theta, 4.0 * params.q_xyz)
-        all_lines = organize_polylines(
-            xyz_group[:, 0], xyz_group[:, 1], xyz_group, window, window
+    with obs.span("sparse.org") as sp_org:
+        if params.spherical_conversion:
+            all_lines = organize_polylines(theta, phi, xyz_group, u_theta, u_phi)
+        else:
+            # -Conversion ablation: extract polylines in the Cartesian system
+            # (x plays the scan axis, y the line-grouping axis).  The window is
+            # the typical along-scan spacing at the group's median range; rings
+            # are circles in the xy plane, so extraction fragments badly — the
+            # effect the ablation quantifies.
+            window = max(float(np.median(radius)) * u_theta, 4.0 * params.q_xyz)
+            all_lines = organize_polylines(
+                xyz_group[:, 0], xyz_group[:, 1], xyz_group, window, window
+            )
+        lines = [line for line in all_lines if len(line) >= 2]
+        outliers = (
+            np.concatenate([line for line in all_lines if len(line) < 2])
+            if any(len(line) < 2 for line in all_lines)
+            else np.empty(0, dtype=np.int64)
         )
-    lines = [line for line in all_lines if len(line) >= 2]
-    outliers = (
-        np.concatenate([line for line in all_lines if len(line) < 2])
-        if any(len(line) < 2 for line in all_lines)
-        else np.empty(0, dtype=np.int64)
-    )
-    t_org = time.perf_counter() - t0
     if not lines:
         out = bytearray()
         encode_uvarint(0, out)
@@ -217,95 +218,101 @@ def encode_sparse_group(
             bytes(out),
             outliers,
             np.empty(0, np.int64),
-            timings={"cor": t_cor, "org": t_org, "spa": 0.0},
+            timings={"cor": sp_cor.duration, "org": sp_org.duration, "spa": 0.0},
         )
-    t0 = time.perf_counter()
-
-    r_max = float(max(radius[line].max() for line in lines))
-    r_max = max(r_max, 1e-9)
-    q_theta, q_phi, q_r = spherical_error_bounds(
-        params.q_xyz, r_max, strict_cartesian=params.strict_cartesian
-    )
-
-    if params.spherical_conversion:
-        d1_all = _quantize(theta, 2.0 * q_theta)
-        d2_all = _quantize(phi, 2.0 * q_phi)
-        d3_all = _quantize(radius, 2.0 * q_r)
-    else:
-        step = 2.0 * params.q_xyz
-        d1_all = _quantize(xyz_group[:, 0], step)
-        d2_all = _quantize(xyz_group[:, 1], step)
-        d3_all = _quantize(xyz_group[:, 2], step)
-
-    # Sort polylines by (head polar angle, head azimuth) — paper Line 7.
-    # The sort uses quantized values so encoder and decoder agree on the
-    # reference-set geometry.
-    lines.sort(key=lambda line: (int(d2_all[line[0]]), int(d1_all[line[0]])))
-    lines_d1 = [d1_all[line] for line in lines]
-    lines_d2 = [d2_all[line] for line in lines]
-    lines_d3 = [d3_all[line] for line in lines]
-    lengths = [len(line) for line in lines]
-    order = np.concatenate(lines)
-
-    backend = get_backend(params.entropy_backend)
-
-    out = bytearray()
-    encode_uvarint(int(order.size), out)
-    encode_uvarint(len(lines), out)
-    out += _RMAX.pack(r_max)
-    sizes: dict[str, int] = {}
-
-    payload = encode_tagged_ints(np.asarray(lengths, dtype=np.int64), backend)
-    _append_stream(out, payload)
-    sizes["lengths"] = len(payload)
-
-    d1_heads, d1_tails = _heads_tails(lines_d1)
-    payload = _pack_stream(d1_heads, backend)
-    _append_stream(out, payload)
-    sizes["d1_heads"] = len(payload)
-    payload = _pack_stream(d1_tails, backend)
-    _append_stream(out, payload)
-    sizes["d1_tails"] = len(payload)
-
-    d2_heads, d2_tails = _heads_tails(lines_d2)
-    payload = _pack_stream(d2_heads, backend)
-    _append_stream(out, payload)
-    sizes["d2_heads"] = len(payload)
-    payload = _pack_stream(d2_tails, backend)
-    _append_stream(out, payload)
-    sizes["d2_tails"] = len(payload)
-
-    if params.spherical_conversion and params.radial_reference:
-        th_phi_q = max(int(round(2.0 * u_phi / (2.0 * q_phi))), 0)
-        th_r_q = max(int(round(params.th_r / (2.0 * q_r))), 1)
-        line_phis = [int(d2[0]) for d2 in lines_d2]
-        nabla, symbols = encode_radial(
-            lines_d1, lines_d3, line_phis, th_phi_q, th_r_q
+    with obs.span("sparse.spa") as sp_spa:
+        r_max = float(max(radius[line].max() for line in lines))
+        r_max = max(r_max, 1e-9)
+        q_theta, q_phi, q_r = spherical_error_bounds(
+            params.q_xyz, r_max, strict_cartesian=params.strict_cartesian
         )
-        ref_payload = bytearray()
-        encode_uvarint(len(symbols), ref_payload)
-        if len(symbols):
-            ref_payload += encode_tagged_symbols(
-                np.asarray(symbols, dtype=np.int64), 4, backend
+
+        if params.spherical_conversion:
+            d1_all = _quantize(theta, 2.0 * q_theta)
+            d2_all = _quantize(phi, 2.0 * q_phi)
+            d3_all = _quantize(radius, 2.0 * q_r)
+        else:
+            step = 2.0 * params.q_xyz
+            d1_all = _quantize(xyz_group[:, 0], step)
+            d2_all = _quantize(xyz_group[:, 1], step)
+            d3_all = _quantize(xyz_group[:, 2], step)
+
+        # Sort polylines by (head polar angle, head azimuth) — paper Line 7.
+        # The sort uses quantized values so encoder and decoder agree on the
+        # reference-set geometry.
+        lines.sort(key=lambda line: (int(d2_all[line[0]]), int(d1_all[line[0]])))
+        lines_d1 = [d1_all[line] for line in lines]
+        lines_d2 = [d2_all[line] for line in lines]
+        lines_d3 = [d3_all[line] for line in lines]
+        lengths = [len(line) for line in lines]
+        order = np.concatenate(lines)
+
+        backend = get_backend(params.entropy_backend)
+
+        out = bytearray()
+        encode_uvarint(int(order.size), out)
+        encode_uvarint(len(lines), out)
+        out += _RMAX.pack(r_max)
+        sizes: dict[str, int] = {}
+
+        payload = encode_tagged_ints(np.asarray(lengths, dtype=np.int64), backend)
+        _append_stream(out, payload)
+        sizes["lengths"] = len(payload)
+
+        d1_heads, d1_tails = _heads_tails(lines_d1)
+        payload = _pack_stream(d1_heads, backend)
+        _append_stream(out, payload)
+        sizes["d1_heads"] = len(payload)
+        payload = _pack_stream(d1_tails, backend)
+        _append_stream(out, payload)
+        sizes["d1_tails"] = len(payload)
+
+        d2_heads, d2_tails = _heads_tails(lines_d2)
+        payload = _pack_stream(d2_heads, backend)
+        _append_stream(out, payload)
+        sizes["d2_heads"] = len(payload)
+        payload = _pack_stream(d2_tails, backend)
+        _append_stream(out, payload)
+        sizes["d2_tails"] = len(payload)
+
+        if params.spherical_conversion and params.radial_reference:
+            th_phi_q = max(int(round(2.0 * u_phi / (2.0 * q_phi))), 0)
+            th_r_q = max(int(round(params.th_r / (2.0 * q_r))), 1)
+            line_phis = [int(d2[0]) for d2 in lines_d2]
+            nabla, symbols = encode_radial(
+                lines_d1, lines_d3, line_phis, th_phi_q, th_r_q
             )
-    else:
-        nabla = encode_radial_plain(lines_d3)
-        ref_payload = bytearray()
-        encode_uvarint(0, ref_payload)
+            ref_payload = bytearray()
+            encode_uvarint(len(symbols), ref_payload)
+            if len(symbols):
+                ref_payload += encode_tagged_symbols(
+                    np.asarray(symbols, dtype=np.int64), 4, backend
+                )
+        else:
+            nabla = encode_radial_plain(lines_d3)
+            ref_payload = bytearray()
+            encode_uvarint(0, ref_payload)
 
-    payload = encode_tagged_ints(nabla, backend)
-    _append_stream(out, payload)
-    sizes["d3"] = len(payload)
-    _append_stream(out, bytes(ref_payload))
-    sizes["l_ref"] = len(ref_payload)
-    t_spa = time.perf_counter() - t0
+        payload = encode_tagged_ints(nabla, backend)
+        _append_stream(out, payload)
+        sizes["d3"] = len(payload)
+        _append_stream(out, bytes(ref_payload))
+        sizes["l_ref"] = len(ref_payload)
+        # Per-stream byte accounting (the Figure 13 size breakdown): each
+        # named stream lands on the active span and the bytes.* counters.
+        for name, size in sizes.items():
+            obs.add_bytes("sparse." + name, size)
 
     return GroupEncoding(
         bytes(out),
         outliers,
         order,
         sizes,
-        timings={"cor": t_cor, "org": t_org, "spa": t_spa},
+        timings={
+            "cor": sp_cor.duration,
+            "org": sp_org.duration,
+            "spa": sp_spa.duration,
+        },
     )
 
 

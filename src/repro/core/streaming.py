@@ -64,11 +64,18 @@ class StreamStats:
         return 8.0 * frames_per_second * mean_size / 1e6
 
 
-def _read_uvarint(stream: BinaryIO) -> int:
+def _read_uvarint(stream: BinaryIO, first: bytes | None = None) -> int:
+    """Read one LEB128 varint from ``stream``.
+
+    ``first`` optionally supplies an already-read leading byte, so callers
+    that probe for end-of-stream (read one byte, see if it is empty) can
+    hand it back instead of duplicating the decode loop — the single
+    implementation keeps the over-long guard on every path.
+    """
     result = 0
     shift = 0
     while True:
-        byte = stream.read(1)
+        byte = first if shift == 0 and first is not None else stream.read(1)
         if not byte:
             raise ValueError("truncated stream varint")
         value = byte[0]
@@ -129,20 +136,12 @@ class FrameStreamReader:
         while True:
             probe = self._source.read(1)
             if not probe:
-                return
-            # Re-assemble the varint we started reading.
-            result = probe[0] & 0x7F
-            shift = 7
-            byte = probe[0]
-            while byte & 0x80:
-                nxt = self._source.read(1)
-                if not nxt:
-                    raise ValueError("truncated frame size")
-                byte = nxt[0]
-                result |= (byte & 0x7F) << shift
-                shift += 7
-            payload = self._source.read(result)
-            if len(payload) != result:
+                return  # clean end-of-stream between frames
+            # Hand the probe byte back to the shared varint decoder, which
+            # enforces the over-long guard a corrupt stream would trip.
+            size = _read_uvarint(self._source, first=probe)
+            payload = self._source.read(size)
+            if len(payload) != size:
                 raise ValueError("truncated frame payload")
             yield payload
 
@@ -152,13 +151,23 @@ class FrameStreamReader:
 
 
 def compress_stream(
-    frames: Iterable[PointCloud],
+    frames: Iterable[PointCloud | tuple[PointCloud, dict[str, np.ndarray] | None]],
     params: DBGCParams | None = None,
     sensor: SensorModel | None = None,
 ) -> tuple[bytes, StreamStats]:
-    """One-shot: compress a frame sequence into a stream blob + stats."""
+    """One-shot: compress a frame sequence into a stream blob + stats.
+
+    Each item is either a bare :class:`PointCloud` or a
+    ``(cloud, attributes)`` pair; attributes ride inside the per-frame
+    payload exactly as with :meth:`FrameStreamWriter.write_frame`, so the
+    blob is byte-identical to writing the same frames through a writer.
+    """
     buffer = io.BytesIO()
     writer = FrameStreamWriter(buffer, params=params, sensor=sensor)
-    for cloud in frames:
-        writer.write_frame(cloud)
+    for item in frames:
+        if isinstance(item, tuple):
+            cloud, attributes = item
+            writer.write_frame(cloud, attributes=attributes)
+        else:
+            writer.write_frame(item)
     return buffer.getvalue(), writer.stats

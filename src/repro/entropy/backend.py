@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.observability import recorder as _obs
 from repro.entropy.arithmetic import (
     arithmetic_decode,
     arithmetic_encode,
@@ -224,7 +225,12 @@ def encode_tagged_symbols(
 ) -> bytes:
     """Encode a symbol stream with a leading backend tag byte."""
     b = get_backend(backend)
-    return bytes([b.tag]) + b.encode(symbols, num_symbols)
+    payload = bytes([b.tag]) + b.encode(symbols, num_symbols)
+    rec = _obs.current()
+    if rec is not None:
+        rec.count("entropy." + b.name + ".streams")
+        rec.add_bytes("entropy." + b.name, len(payload))
+    return payload
 
 
 def resolve_tag(tag: int, preferred: EntropyBackend | None = None) -> EntropyBackend:
@@ -256,7 +262,12 @@ def encode_tagged_ints(
 ) -> bytes:
     """Encode a signed integer sequence with a leading backend tag byte."""
     b = get_backend(backend)
-    return bytes([b.tag]) + b.encode_ints(values)
+    payload = bytes([b.tag]) + b.encode_ints(values)
+    rec = _obs.current()
+    if rec is not None:
+        rec.count("entropy." + b.name + ".streams")
+        rec.add_bytes("entropy." + b.name, len(payload))
+    return payload
 
 
 def decode_tagged_ints(

@@ -13,9 +13,38 @@ import numpy as np
 from repro.geometry.points import PointCloud
 from repro.geometry.spherical import cartesian_to_spherical
 
-__all__ = ["density_map", "xoy_web", "theta_phi_scatter"]
+__all__ = ["density_map", "xoy_web", "theta_phi_scatter", "bar_chart"]
 
 _RAMP = " .:-=+*#%@"
+
+
+def bar_chart(
+    labels: list[str],
+    values: list[float],
+    width: int = 40,
+    unit: str = "",
+    title: str | None = None,
+) -> str:
+    """Render labelled horizontal bars (the observability breakdown view).
+
+    Bars scale to the largest value; each row shows the label, the bar,
+    the value, and its share of the total.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return title or ""
+    top = max(max(values), 1e-12)
+    total = sum(values) or 1e-12
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(round(value / top * width)), 1 if value > 0 else 0)
+        shown = f"{value:.3f}{unit}" if unit != "B" else f"{int(value)}{unit}"
+        lines.append(
+            f"  {label:<{label_width}} {bar:<{width}} {shown:>12} {value / total:>5.0%}"
+        )
+    return "\n".join(lines)
 
 
 def density_map(

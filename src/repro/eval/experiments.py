@@ -22,6 +22,7 @@ from repro.datasets.sensors import SensorModel
 from repro.eval.harness import DbgcGeometryCompressor, make_compressors
 from repro.eval.metrics import peak_rss_bytes
 from repro.eval.reporting import render_series, render_table
+from repro.observability import recording, report_dict, stage_totals
 
 __all__ = ["ExperimentResult", "EXPERIMENTS", "reproduce", "list_experiments"]
 
@@ -182,35 +183,72 @@ def table2_outliers(sensor: SensorModel | None = None) -> ExperimentResult:
     return ExperimentResult("table2", text, {"scenes": scenes, "ratios": ratios})
 
 
-def fig13_breakdown(sensor: SensorModel | None = None) -> ExperimentResult:
-    """Figure 13: DBGC stage time breakdown plus memory."""
-    cloud = _frame("kitti-city", sensor)
-    codec = DbgcGeometryCompressor(HEADLINE_Q, sensor=sensor)
-    result = codec.compress_detailed(cloud)
-    total = sum(result.timings.values())
+#: Span name -> Figure 13 stage label, per pipeline root.
+_FIG13_COMPRESS_SPANS = {
+    "dbgc.den": "den",
+    "dbgc.oct": "oct",
+    "sparse.cor": "cor",
+    "sparse.org": "org",
+    "sparse.spa": "spa",
+    "dbgc.out": "out",
+}
+_FIG13_DECOMPRESS_SPANS = {"dbgc.oct": "oct", "dbgc.spa": "spa", "dbgc.out": "out"}
+
+
+def _stage_table(report: dict, root: str, span_to_stage: dict, title: str) -> tuple:
+    """One Figure 13 table, queried from an observability report."""
+    totals = stage_totals(report, root)
+    timings = {
+        stage: totals.get(span, 0.0) for span, stage in span_to_stage.items()
+    }
+    total = sum(timings.values()) or 1e-12
     text = render_table(
         ["stage", "seconds", "fraction"],
         [
             [stage.upper(), f"{seconds:.3f}", f"{seconds / total:.0%}"]
-            for stage, seconds in sorted(result.timings.items())
+            for stage, seconds in sorted(timings.items())
         ],
-        title=f"Figure 13 (compression): DBGC stage breakdown, q = {HEADLINE_Q} m",
+        title=title,
     )
-    _, dec_timings = DBGCDecompressor().decompress_detailed(result.payload)
-    dec_total = sum(dec_timings.values())
-    text += "\n\n" + render_table(
-        ["stage", "seconds", "fraction"],
-        [
-            [stage.upper(), f"{seconds:.3f}", f"{seconds / dec_total:.0%}"]
-            for stage, seconds in sorted(dec_timings.items())
-        ],
-        title="Figure 13 (decompression): component breakdown",
+    return text, timings
+
+
+def fig13_breakdown(sensor: SensorModel | None = None) -> ExperimentResult:
+    """Figure 13: DBGC stage time breakdown plus memory.
+
+    The stage seconds are a query over the observability span tree (one
+    recording covers compression and decompression), so this figure, the
+    ``--metrics`` report, and ``CompressionResult.timings`` all read from
+    the same clock.
+    """
+    cloud = _frame("kitti-city", sensor)
+    codec = DbgcGeometryCompressor(HEADLINE_Q, sensor=sensor)
+    with recording() as recorder:
+        result = codec.compress_detailed(cloud)
+        DBGCDecompressor().decompress_detailed(result.payload)
+    report = report_dict(recorder)
+    text, timings = _stage_table(
+        report,
+        "dbgc.compress",
+        _FIG13_COMPRESS_SPANS,
+        f"Figure 13 (compression): DBGC stage breakdown, q = {HEADLINE_Q} m",
     )
+    dec_text, dec_timings = _stage_table(
+        report,
+        "dbgc.decompress",
+        _FIG13_DECOMPRESS_SPANS,
+        "Figure 13 (decompression): component breakdown",
+    )
+    text += "\n\n" + dec_text
     text += f"\n\npeak RSS of this process: {peak_rss_bytes() / 1e6:.0f} MB"
     return ExperimentResult(
         "fig13",
         text,
-        {"compress_timings": result.timings, "decompress_timings": dec_timings},
+        {
+            "compress_timings": timings,
+            "decompress_timings": dec_timings,
+            "report": report,
+        },
     )
 
 

@@ -1,0 +1,63 @@
+"""Unified observability: spans, counters/histograms, and exporters.
+
+The pipeline-wide instrumentation substrate (see docs/OBSERVABILITY.md).
+Typical use::
+
+    from repro import observability as obs
+
+    with obs.recording() as rec:
+        DBGCCompressor().compress(cloud)        # stages record spans
+    print(obs.ascii_breakdown(rec))             # Figure 13 in the terminal
+    report = obs.report_dict(rec)               # structured JSON report
+
+With no recorder installed every hook is a no-op behind a single global
+read, so instrumented code costs nothing when observability is off.
+Observability is a side channel: it never changes the wire format or the
+compressed payloads.
+"""
+
+from repro.observability.exporters import (
+    REPORT_VERSION,
+    ascii_breakdown,
+    byte_totals,
+    report_dict,
+    stage_totals,
+    to_json,
+    to_prometheus,
+    validate_report,
+)
+from repro.observability.recorder import (
+    Recorder,
+    Span,
+    add_bytes,
+    count,
+    current,
+    ensure_recorder,
+    get_recorder,
+    observe,
+    recording,
+    set_recorder,
+    span,
+)
+
+__all__ = [
+    "REPORT_VERSION",
+    "Recorder",
+    "Span",
+    "add_bytes",
+    "ascii_breakdown",
+    "byte_totals",
+    "count",
+    "current",
+    "ensure_recorder",
+    "get_recorder",
+    "observe",
+    "recording",
+    "report_dict",
+    "set_recorder",
+    "span",
+    "stage_totals",
+    "to_json",
+    "to_prometheus",
+    "validate_report",
+]

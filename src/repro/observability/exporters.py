@@ -1,0 +1,268 @@
+"""Report builders for a :class:`~repro.observability.recorder.Recorder`.
+
+Three views of one recording:
+
+- :func:`report_dict` / :func:`to_json` — the structured report (schema
+  below, documented in docs/OBSERVABILITY.md) consumed by the benchmarks
+  and the ``dbgc ... --metrics`` CLI flag;
+- :func:`to_prometheus` — Prometheus text exposition (counters, span
+  totals, histogram summaries) for scrape-style monitoring;
+- :func:`ascii_breakdown` — the Figure 12/13-style terminal view: per-span
+  time bars and per-tag byte bars.
+
+Report schema (``version`` 1)::
+
+    {
+      "version": 1,
+      "spans": [
+        {"name": str, "duration_s": float,
+         "bytes": {tag: int},        # omitted when empty
+         "children": [...]},         # omitted when empty
+      ],
+      "counters": {name: int},
+      "histograms": {name: {"count": int, "sum": float, "min": float,
+                            "max": float, "mean": float,
+                            "p50": float, "p90": float}},
+    }
+
+:func:`validate_report` checks that shape and is what the CI smoke step
+runs against the CLI's JSON output.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.observability.recorder import Recorder
+
+__all__ = [
+    "REPORT_VERSION",
+    "report_dict",
+    "to_json",
+    "to_prometheus",
+    "ascii_breakdown",
+    "validate_report",
+    "stage_totals",
+    "byte_totals",
+]
+
+REPORT_VERSION = 1
+
+
+def _histogram_summary(values: list[float]) -> dict:
+    ordered = sorted(values)
+    n = len(ordered)
+
+    def percentile(q: float) -> float:
+        if n == 1:
+            return ordered[0]
+        pos = q * (n - 1)
+        lo = int(pos)
+        hi = min(lo + 1, n - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    return {
+        "count": n,
+        "sum": float(sum(ordered)),
+        "min": ordered[0],
+        "max": ordered[-1],
+        "mean": float(sum(ordered) / n),
+        "p50": percentile(0.5),
+        "p90": percentile(0.9),
+    }
+
+
+def report_dict(recorder: Recorder) -> dict:
+    """The structured report of one recording (JSON-able)."""
+    with recorder._lock:
+        roots = list(recorder.roots)
+        counters = dict(recorder.counters)
+        histograms = {name: list(vals) for name, vals in recorder.histograms.items()}
+    return {
+        "version": REPORT_VERSION,
+        "spans": [root.to_dict() for root in roots],
+        "counters": counters,
+        "histograms": {
+            name: _histogram_summary(vals) for name, vals in histograms.items() if vals
+        },
+    }
+
+
+def to_json(recorder: Recorder, indent: int = 2) -> str:
+    """The structured report serialized as JSON text."""
+    return json.dumps(report_dict(recorder), indent=indent, sort_keys=True)
+
+
+# -- report-dict queries ----------------------------------------------------
+
+
+def _iter_report_spans(nodes: list[dict]):
+    for node in nodes:
+        yield node
+        yield from _iter_report_spans(node.get("children", []))
+
+
+def stage_totals(report: dict, root: str | None = None) -> dict[str, float]:
+    """Total seconds per span name in a report (optionally under one root).
+
+    This is the span-tree query that replaces the old parallel ``timings``
+    dicts: ``stage_totals(report, "dbgc.compress")`` returns the Figure 13
+    per-stage compression breakdown.
+    """
+    nodes = report.get("spans", [])
+    if root is not None:
+        nodes = [n for n in _iter_report_spans(nodes) if n["name"] == root]
+        nodes = [child for n in nodes for child in n.get("children", [])]
+    totals: dict[str, float] = {}
+    for node in _iter_report_spans(nodes):
+        totals[node["name"]] = totals.get(node["name"], 0.0) + node["duration_s"]
+    return totals
+
+
+def byte_totals(report: dict) -> dict[str, int]:
+    """Total bytes per tag from a report's ``bytes.<tag>`` counters."""
+    return {
+        name[len("bytes."):]: value
+        for name, value in report.get("counters", {}).items()
+        if name.startswith("bytes.")
+    }
+
+
+# -- Prometheus text exposition ---------------------------------------------
+
+
+def _metric_name(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return "dbgc_" + cleaned
+
+
+def to_prometheus(recorder: Recorder) -> str:
+    """Prometheus text-format rendering of counters, spans and histograms."""
+    report = report_dict(recorder)
+    lines: list[str] = []
+    for name in sorted(report["counters"]):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {report['counters'][name]}")
+    totals = stage_totals(report)
+    if totals:
+        lines.append("# TYPE dbgc_span_seconds_total counter")
+        for name in sorted(totals):
+            lines.append(
+                f'dbgc_span_seconds_total{{name="{name}"}} {totals[name]:.9f}'
+            )
+    for name in sorted(report["histograms"]):
+        metric = _metric_name(name)
+        summary = report["histograms"][name]
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f'{metric}{{quantile="0.5"}} {summary["p50"]:.9f}')
+        lines.append(f'{metric}{{quantile="0.9"}} {summary["p90"]:.9f}')
+        lines.append(f"{metric}_sum {summary['sum']:.9f}")
+        lines.append(f"{metric}_count {summary['count']}")
+    return "\n".join(lines) + "\n"
+
+
+# -- ASCII breakdown view ---------------------------------------------------
+
+
+def ascii_breakdown(recorder: Recorder, width: int = 40) -> str:
+    """Terminal view: per-stage time bars plus per-tag byte bars.
+
+    Reuses the bar renderer of :mod:`repro.eval.ascii_plot`, so the
+    ``dbgc compress --metrics`` output matches the house style of the
+    reproduced figures.
+    """
+    # Imported lazily: repro.eval pulls in the pipeline, which itself
+    # imports this package — at module import time that would be a cycle.
+    from repro.eval.ascii_plot import bar_chart
+
+    report = report_dict(recorder)
+    sections: list[str] = []
+    totals = stage_totals(report)
+    if totals:
+        names = sorted(totals, key=lambda n: -totals[n])
+        sections.append(
+            bar_chart(
+                names,
+                [totals[n] for n in names],
+                width=width,
+                unit="s",
+                title="span seconds (aggregated by name)",
+            )
+        )
+    sizes = byte_totals(report)
+    if sizes:
+        tags = sorted(sizes, key=lambda t: -sizes[t])
+        sections.append(
+            bar_chart(
+                tags,
+                [float(sizes[t]) for t in tags],
+                width=width,
+                unit="B",
+                title="bytes by stream tag",
+            )
+        )
+    other = {
+        name: value
+        for name, value in report["counters"].items()
+        if not name.startswith("bytes.")
+    }
+    if other:
+        body = "\n".join(f"  {name:<32} {other[name]}" for name in sorted(other))
+        sections.append("counters\n" + body)
+    return "\n\n".join(sections) if sections else "(nothing recorded)"
+
+
+# -- validation -------------------------------------------------------------
+
+
+def _validate_span(node: dict, path: str) -> None:
+    if not isinstance(node, dict):
+        raise ValueError(f"{path}: span must be an object")
+    if not isinstance(node.get("name"), str) or not node["name"]:
+        raise ValueError(f"{path}: span needs a non-empty string 'name'")
+    duration = node.get("duration_s")
+    if not isinstance(duration, (int, float)) or duration < 0:
+        raise ValueError(f"{path}: 'duration_s' must be a non-negative number")
+    for tag, size in node.get("bytes", {}).items():
+        if not isinstance(tag, str) or not isinstance(size, int) or size < 0:
+            raise ValueError(f"{path}: byte tags map strings to counts >= 0")
+    children = node.get("children", [])
+    if not isinstance(children, list):
+        raise ValueError(f"{path}: 'children' must be a list")
+    for i, child in enumerate(children):
+        _validate_span(child, f"{path}.children[{i}]")
+
+
+def validate_report(report: dict) -> dict:
+    """Check a report against the documented schema; returns it unchanged.
+
+    Raises :class:`ValueError` on the first violation.  Used by the test
+    suite and the CI smoke step on ``dbgc compress --metrics`` output.
+    """
+    if not isinstance(report, dict):
+        raise ValueError("report must be an object")
+    if report.get("version") != REPORT_VERSION:
+        raise ValueError(f"unsupported report version {report.get('version')!r}")
+    spans = report.get("spans")
+    if not isinstance(spans, list):
+        raise ValueError("'spans' must be a list")
+    for i, node in enumerate(spans):
+        _validate_span(node, f"spans[{i}]")
+    counters = report.get("counters")
+    if not isinstance(counters, dict):
+        raise ValueError("'counters' must be an object")
+    for name, value in counters.items():
+        if not isinstance(name, str) or not isinstance(value, int):
+            raise ValueError("counters map string names to integers")
+    histograms = report.get("histograms")
+    if not isinstance(histograms, dict):
+        raise ValueError("'histograms' must be an object")
+    required = {"count", "sum", "min", "max", "mean", "p50", "p90"}
+    for name, summary in histograms.items():
+        if not isinstance(summary, dict) or not required.issubset(summary):
+            raise ValueError(f"histogram {name!r} missing fields {required}")
+    return report

@@ -30,6 +30,7 @@ from typing import Iterable
 
 from repro.core.params import DBGCParams
 from repro.core.pipeline import DBGCCompressor
+from repro.observability import recorder as _obs
 from repro.datasets.sensors import SensorModel
 from repro.geometry.points import PointCloud
 from repro.system.channel import BandwidthShaper
@@ -361,6 +362,9 @@ class DbgcClient:
                         "quarantine", trace.frame_index, attempt,
                         detail="server rejected payload",
                     )
+            if status == "stored":
+                _obs.count("transport.stored")
+                _obs.add_bytes("transport.sent", len(item.payload))
             return
         with self._lock:
             trace.status = "dropped"
@@ -470,3 +474,5 @@ class DbgcClient:
             if trace is not None:
                 trace.received_at = received_at
                 trace.stored_at = stored_at
+                if trace.status == "stored":
+                    _obs.observe("client.total_latency_s", trace.total_latency)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.observability import recorder as _obs
+
 __all__ = ["FrameTrace", "PipelineReport", "TransportEvent"]
 
 
@@ -28,8 +30,10 @@ class FrameTrace:
     attempts: int = 1
     #: Final fate: ``"pending"`` (still queued), ``"stored"``,
     #: ``"quarantined"`` (server rejected the bytes), or ``"dropped"``
-    #: (evicted under congestion or retries exhausted).
-    status: str = "stored"
+    #: (evicted under congestion or retries exhausted).  A trace starts
+    #: ``"pending"`` and becomes ``"stored"`` only once the server ACK
+    #: confirms the frame landed — never by default.
+    status: str = "pending"
     #: True when the payload was recompressed at a coarser error bound
     #: because the link could not sustain the sensor rate.
     degraded: bool = False
@@ -88,6 +92,7 @@ class PipelineReport:
     ) -> None:
         """Log one transport event (retry, drop, quarantine, degrade...)."""
         self.events.append(TransportEvent(kind, frame_index, attempt, detail))
+        _obs.count("transport." + kind)
 
     @property
     def n_frames(self) -> int:
@@ -162,11 +167,17 @@ class PipelineReport:
         return self._mean([float(t.payload_bytes) for t in self.stored_traces])
 
     def throughput_fps(self) -> float:
-        """Frames stored per second over the observed window."""
-        stored = self.stored_traces
+        """Frames stored per second over the observed window.
+
+        Traces are sorted by ``stored_at`` first: with retries and
+        parallel senders, frames complete out of capture order, and the
+        window must span the earliest capture to the *latest* store.
+        """
+        stored = sorted(self.stored_traces, key=lambda t: t.stored_at)
         if len(stored) < 2:
             return 0.0
-        span = stored[-1].stored_at - stored[0].captured_at
+        first_captured = min(t.captured_at for t in stored)
+        span = stored[-1].stored_at - first_captured
         return len(stored) / span if span > 0 else 0.0
 
     def bandwidth_mbps(self, frames_per_second: float) -> float:

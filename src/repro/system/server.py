@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.pipeline import DBGCDecompressor
+from repro.observability import recorder as _obs
 from repro.system.faults import FaultyChannel
 from repro.system.protocol import (
     ACK_DUPLICATE,
@@ -191,9 +192,12 @@ class DbgcServer:
 
     def _ingest(self, conn: socket.socket, frame_index: int, payload: bytes) -> None:
         received_at = time.perf_counter()
+        _obs.count("server.ingress")
+        _obs.add_bytes("server.ingress", len(payload))
         if frame_index in self._seen:
             # Retransmission of a frame that already made it: idempotent.
             self._note("duplicate", f"frame {frame_index}")
+            _obs.count("server.duplicates")
             self._ack(conn, frame_index, ACK_DUPLICATE)
             return
         try:
@@ -212,6 +216,7 @@ class DbgcServer:
             self.receipts.append(
                 (frame_index, len(payload), received_at, time.perf_counter())
             )
+        _obs.count("server.stored")
         self._ack(conn, frame_index, ACK_STORED)
 
     def _quarantine(
@@ -221,6 +226,7 @@ class DbgcServer:
             self.quarantine.append(
                 QuarantinedFrame(frame_index, payload, repr(exc), received_at)
             )
+        _obs.count("server.quarantined")
 
     def _ack(self, conn: socket.socket, frame_index: int, status: int) -> None:
         if self.channel is not None:

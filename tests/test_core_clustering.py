@@ -82,6 +82,65 @@ class TestApprox:
         mask = cluster_approx(xyz, eps=0.2, min_pts=50)
         assert mask[-1]
 
+    @staticmethod
+    def _reference_approx(xyz, eps, min_pts):
+        """The pre-vectorization dict-per-cell implementation, verbatim."""
+        xyz = np.asarray(xyz, dtype=np.float64)
+        if len(xyz) == 0:
+            return np.zeros(0, dtype=bool)
+        cells = np.floor(xyz / (eps / 2.0)).astype(np.int64)
+        keys = (
+            (cells[:, 0] + (1 << 20)) << 42
+            | (cells[:, 1] + (1 << 20)) << 21
+            | (cells[:, 2] + (1 << 20))
+        )
+        unique_keys, inverse, counts = np.unique(
+            keys, return_inverse=True, return_counts=True
+        )
+        count_of = dict(zip(unique_keys.tolist(), counts.tolist()))
+        offsets = [
+            dx * (1 << 42) + dy * (1 << 21) + dz
+            for dx in (-1, 0, 1)
+            for dy in (-1, 0, 1)
+            for dz in (-1, 0, 1)
+        ]
+        unique_list = unique_keys.tolist()
+        neighborhood = np.zeros(len(unique_list), dtype=np.int64)
+        for offset in offsets:
+            for i, key in enumerate(unique_list):
+                neighborhood[i] += count_of.get(key + offset, 0)
+        dense_cell = neighborhood >= min_pts
+        dense_set = {k for k, d in zip(unique_list, dense_cell.tolist()) if d}
+        dilated = dense_cell.copy()
+        for i, key in enumerate(unique_list):
+            if dilated[i]:
+                continue
+            if any(key + offset in dense_set for offset in offsets):
+                dilated[i] = True
+        return dilated[inverse]
+
+    @pytest.mark.parametrize("min_pts", [5, 20, 60])
+    def test_vectorized_matches_reference_random(self, min_pts):
+        """The searchsorted path must reproduce the dict path bit-for-bit."""
+        rng = np.random.default_rng(3)
+        xyz = np.vstack(
+            [
+                rng.normal(0.0, 0.08, size=(500, 3)),
+                rng.uniform(-20.0, 20.0, size=(200, 3)),
+            ]
+        )
+        fast = cluster_approx(xyz, eps=0.2, min_pts=min_pts)
+        slow = self._reference_approx(xyz, eps=0.2, min_pts=min_pts)
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_vectorized_matches_reference_realistic(self):
+        from repro.datasets import generate_frame
+
+        xyz = generate_frame("kitti-city", 0).xyz[::4]
+        fast = cluster_approx(xyz, 0.2, 60)
+        slow = self._reference_approx(xyz, 0.2, 60)
+        np.testing.assert_array_equal(fast, slow)
+
 
 class TestSplitByFraction:
     def test_bounds(self):

@@ -1,7 +1,6 @@
 """Tests for the classic point-based DBSCAN reference implementation."""
 
 import numpy as np
-import pytest
 
 from repro.core import cluster_dbscan, cluster_exact
 

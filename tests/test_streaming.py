@@ -124,3 +124,58 @@ class TestFrameStream:
         reader = FrameStreamReader(io.BytesIO(blob[:-10]))
         with pytest.raises(ValueError):
             list(reader.payloads())
+
+    def test_overlong_frame_size_varint_rejected(self, small_sensor):
+        # Regression: payloads() used its own varint loop without the
+        # over-long guard, so a corrupt stream of continuation bytes spun
+        # the shift unboundedly instead of raising.
+        frames = list(
+            generate_sequence("kitti-road", straight(1), sensor=small_sensor)
+        )
+        blob, _ = compress_stream(frames, sensor=small_sensor)
+        # Replace the frame body with continuation bytes forever.
+        header_end = blob.index(b"\x00") + 1  # end of the n_frames varint
+        corrupt = blob[:header_end] + b"\xff" * 64
+        reader = FrameStreamReader(io.BytesIO(corrupt))
+        with pytest.raises(ValueError, match="varint too long"):
+            list(reader.payloads())
+
+    def test_compress_stream_accepts_attribute_pairs(self, small_sensor):
+        from repro.core import DBGCDecompressor
+
+        frames = list(
+            generate_sequence("kitti-road", straight(2), sensor=small_sensor)
+        )
+        rng = np.random.default_rng(7)
+        attrs = [
+            {"intensity": rng.random(len(frame)).astype(np.float64)}
+            for frame in frames
+        ]
+        # Regression: compress_stream dropped per-frame attributes; a
+        # (cloud, attributes) item must be byte-identical to a writer call.
+        blob, stats = compress_stream(
+            zip(frames, attrs), sensor=small_sensor
+        )
+        buffer = io.BytesIO()
+        writer = FrameStreamWriter(buffer, sensor=small_sensor)
+        for frame, frame_attrs in zip(frames, attrs):
+            writer.write_frame(frame, attributes=frame_attrs)
+        assert blob == buffer.getvalue()
+        assert stats.n_frames == 2
+        # The attributes actually made it into the payloads.
+        reader = FrameStreamReader(io.BytesIO(blob))
+        for payload, frame_attrs in zip(reader.payloads(), attrs):
+            _, decoded = DBGCDecompressor().decompress_with_attributes(payload)
+            assert set(decoded) == {"intensity"}
+            assert len(decoded["intensity"]) == len(frame_attrs["intensity"])
+
+    def test_compress_stream_mixed_items_match_writer(self, small_sensor):
+        frames = list(
+            generate_sequence("kitti-road", straight(2), sensor=small_sensor)
+        )
+        # Bare clouds and (cloud, None) pairs are interchangeable.
+        blob_mixed, _ = compress_stream(
+            [frames[0], (frames[1], None)], sensor=small_sensor
+        )
+        blob_bare, _ = compress_stream(frames, sensor=small_sensor)
+        assert blob_mixed == blob_bare

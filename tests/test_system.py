@@ -77,6 +77,7 @@ class TestStores:
 
 class TestMetrics:
     def _trace(self, i):
+        # status is explicit: traces default to "pending" until an ACK.
         return FrameTrace(
             frame_index=i,
             n_points=100,
@@ -86,7 +87,29 @@ class TestMetrics:
             sent_at=i + 0.3,
             received_at=i + 0.4,
             stored_at=i + 0.5,
+            status="stored",
         )
+
+    def test_trace_defaults_to_pending(self):
+        # Regression: a freshly built trace must not count as stored; only
+        # a server ACK flips it (see DbgcClient._transmit).
+        trace = FrameTrace(
+            frame_index=0, n_points=1, payload_bytes=1, captured_at=0.0
+        )
+        assert trace.status == "pending"
+        report = PipelineReport()
+        report.add(trace)
+        assert report.n_stored == 0
+        assert report.stored_traces == []
+
+    def test_throughput_ignores_trace_order(self):
+        # Regression: retries finish frames out of capture order; the fps
+        # window must span earliest capture -> latest store regardless of
+        # the order traces were recorded in.
+        report = PipelineReport()
+        for i in (3, 0, 4, 1, 2):  # frame 3 stored first, etc.
+            report.add(self._trace(i))
+        assert report.throughput_fps() == pytest.approx(5 / 4.5)
 
     def test_latency_breakdown(self):
         t = self._trace(0)
