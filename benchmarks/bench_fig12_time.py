@@ -3,17 +3,18 @@
 Wall-clock per method on the city scene.  Absolute numbers are pure-Python
 and thus far from the paper's C++ prototype (DESIGN.md §4); the reported
 shape is the method ordering and the mild decrease of DBGC's times as the
-bound grows.
+bound grows.  With ``--json`` the measured times land in
+``BENCH_fig12.json`` for the regression harness.
 """
 
-from benchmarks.common import frame, write_result
+from benchmarks.common import bench_sensor, frame, record_bench, write_result
 from repro.eval import render_series, run_timing_sweep
 
 Q_SWEEP = [0.002, 0.005, 0.01, 0.02]
 
 
 def test_fig12_timings(benchmark):
-    results = run_timing_sweep("kitti-city", Q_SWEEP)
+    results = run_timing_sweep("kitti-city", Q_SWEEP, sensor=bench_sensor())
     compress: dict[str, list[float]] = {}
     decompress: dict[str, list[float]] = {}
     for r in results:
@@ -32,11 +33,24 @@ def test_fig12_timings(benchmark):
         title="Figure 12b: decompression time (s), kitti-city",
     )
     write_result("fig12_time", text)
+    record_bench(
+        "fig12",
+        wall_times_s={
+            f"{phase}.{r.method}.q{r.q_xyz:g}": seconds
+            for r in results
+            for phase, seconds in (
+                ("compress", r.compress_seconds),
+                ("decompress", r.decompress_seconds),
+            )
+        },
+        point_counts={"kitti-city": results[0].n_points},
+    )
     for times in list(compress.values()) + list(decompress.values()):
         assert all(t > 0 for t in times)
     # Time a single DBGC decompression for the benchmark table.
     from repro.eval import DbgcGeometryCompressor
 
-    codec = DbgcGeometryCompressor(0.02)
+    codec = DbgcGeometryCompressor(0.02, sensor=bench_sensor())
     payload = codec.compress(frame("kitti-city"))
+    record_bench("fig12", wall_times_s={}, sizes_bytes={"dbgc.q0.02": len(payload)})
     benchmark.pedantic(codec.decompress, args=(payload,), rounds=1, iterations=1)

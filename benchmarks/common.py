@@ -9,6 +9,8 @@ readable record of every reproduced table and figure.
 
 from __future__ import annotations
 
+import os
+import subprocess
 from functools import lru_cache
 from pathlib import Path
 
@@ -16,6 +18,13 @@ from repro.datasets import SensorModel, generate_frame
 from repro.geometry import PointCloud
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Version of the ``BENCH_<name>.json`` perf-record schema.
+BENCH_SCHEMA = "dbgc-bench/1"
+
+#: Global sensor down-scale for the whole benchmark session; CI sets this
+#: to run the fig12/fig13 benches on small synthetic scenes.
+BENCH_SENSOR_SCALE = float(os.environ.get("DBGC_BENCH_SENSOR_SCALE", "1.0"))
 
 #: The paper sweeps q from 0.06 cm to 2.0 cm.
 Q_SWEEP = [0.0006, 0.002, 0.005, 0.01, 0.02]
@@ -31,13 +40,83 @@ ALL_SCENES = [
 ]
 
 
+def bench_sensor() -> SensorModel:
+    """The session's benchmark sensor, honoring ``DBGC_BENCH_SENSOR_SCALE``."""
+    sensor = SensorModel.benchmark_default()
+    if BENCH_SENSOR_SCALE != 1.0:
+        sensor = sensor.scaled(BENCH_SENSOR_SCALE)
+    return sensor
+
+
 @lru_cache(maxsize=32)
 def frame(scene: str, index: int = 0) -> PointCloud:
     """A cached benchmark frame of the named scene."""
-    return generate_frame(scene, index, sensor=SensorModel.benchmark_default())
+    return generate_frame(scene, index, sensor=bench_sensor())
 
 
 def write_result(name: str, text: str) -> None:
     """Persist a rendered table under benchmarks/results/ (and echo later)."""
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+# -- perf records (the --json option) ---------------------------------------
+
+#: Perf records accumulated this session, keyed by bench name; the local
+#: conftest writes each as ``BENCH_<name>.json`` when ``--json`` is given.
+_BENCH_RECORDS: dict[str, dict] = {}
+
+
+def _git_rev() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if proc.returncode == 0:
+            return proc.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def record_bench(
+    name: str,
+    wall_times_s: dict[str, float],
+    sizes_bytes: dict[str, int] | None = None,
+    point_counts: dict[str, int] | None = None,
+) -> dict:
+    """Record one bench's perf numbers for the ``--json`` exporter.
+
+    ``wall_times_s`` entries are compared with a relative tolerance by
+    ``benchmarks/compare.py``; ``sizes_bytes`` and ``point_counts`` are
+    deterministic for seeded scenes and compared exactly.  Calling twice
+    with the same name merges the dicts (a bench file may record from
+    several tests).
+    """
+    entry = _BENCH_RECORDS.setdefault(
+        name,
+        {
+            "schema": BENCH_SCHEMA,
+            "name": name,
+            "git_rev": _git_rev(),
+            "sensor_scale": BENCH_SENSOR_SCALE,
+            "wall_times_s": {},
+            "sizes_bytes": {},
+            "point_counts": {},
+        },
+    )
+    entry["wall_times_s"].update({k: float(v) for k, v in wall_times_s.items()})
+    if sizes_bytes:
+        entry["sizes_bytes"].update({k: int(v) for k, v in sizes_bytes.items()})
+    if point_counts:
+        entry["point_counts"].update({k: int(v) for k, v in point_counts.items()})
+    return entry
+
+
+def bench_records() -> dict[str, dict]:
+    """All perf records of this session (name -> schema'd record)."""
+    return _BENCH_RECORDS

@@ -1,0 +1,123 @@
+"""Diff two BENCH_<name>.json perf records; fail on regressions.
+
+Usage::
+
+    python benchmarks/compare.py BASELINE.json CURRENT.json [--tolerance 0.20]
+
+Wall times are compared with a relative tolerance (default: fail when the
+current run is more than 20% slower); sizes and point counts are
+deterministic for seeded scenes and must match exactly.  Exit codes:
+0 = within tolerance, 1 = regression (or size/count mismatch), 2 = the
+records are unusable (missing file, schema mismatch, different bench).
+
+CI compares a fresh run against the committed baselines with a loose
+``--tolerance`` (machines differ) — the exact-match size check is the
+sharp edge there; the default tolerance is for same-machine A/B runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "dbgc-bench/1"
+
+
+def load_record(path: str) -> dict:
+    try:
+        record = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"compare: cannot read {path}: {exc}")
+    if record.get("schema") != SCHEMA:
+        print(
+            f"compare: {path}: schema {record.get('schema')!r} != {SCHEMA!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return record
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    tolerance: float = 0.20,
+    ignore_wall: bool = False,
+) -> list[str]:
+    """Problems found comparing ``current`` against ``baseline`` (empty = ok)."""
+    problems: list[str] = []
+    if baseline["name"] != current["name"]:
+        return [
+            f"different benches: {baseline['name']!r} vs {current['name']!r}"
+        ]
+    if baseline.get("sensor_scale") != current.get("sensor_scale"):
+        return [
+            "different sensor scales: "
+            f"{baseline.get('sensor_scale')} vs {current.get('sensor_scale')}"
+        ]
+
+    for section in ("sizes_bytes", "point_counts"):
+        base = baseline.get(section, {})
+        cur = current.get(section, {})
+        for key in sorted(set(base) & set(cur)):
+            if base[key] != cur[key]:
+                problems.append(
+                    f"{section}.{key}: {base[key]} -> {cur[key]} "
+                    "(deterministic value changed)"
+                )
+
+    if not ignore_wall:
+        base = baseline.get("wall_times_s", {})
+        cur = current.get("wall_times_s", {})
+        for key in sorted(set(base) & set(cur)):
+            if base[key] <= 0.0:
+                continue
+            ratio = cur[key] / base[key]
+            if ratio > 1.0 + tolerance:
+                problems.append(
+                    f"wall_times_s.{key}: {base[key]:.4f}s -> {cur[key]:.4f}s "
+                    f"({ratio:.2f}x, tolerance {1.0 + tolerance:.2f}x)"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_<name>.json")
+    parser.add_argument("current", help="current BENCH_<name>.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed relative wall-time slowdown (default 0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--ignore-wall",
+        action="store_true",
+        help="only check the deterministic sizes and point counts",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_record(args.baseline)
+    current = load_record(args.current)
+    problems = compare(baseline, current, args.tolerance, args.ignore_wall)
+    name = current["name"]
+    if problems:
+        print(f"compare: {name}: {len(problems)} regression(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    n_walls = len(
+        set(baseline.get("wall_times_s", {})) & set(current.get("wall_times_s", {}))
+    )
+    print(
+        f"compare: {name}: ok "
+        f"({n_walls} timings within {1.0 + args.tolerance:.2f}x, "
+        f"sizes/counts identical)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

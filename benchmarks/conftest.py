@@ -1,12 +1,41 @@
-"""Benchmark-suite conftest: echo reproduced tables after the run."""
+"""Benchmark-suite conftest: echo reproduced tables, export perf records.
+
+``pytest benchmarks/ --json DIR`` writes one schema-versioned
+``BENCH_<name>.json`` per recorded bench into ``DIR`` (see
+:func:`benchmarks.common.record_bench`); ``benchmarks/compare.py`` diffs
+two such records and fails on wall-time regressions.
+"""
 
 from __future__ import annotations
 
-from benchmarks.common import RESULTS_DIR
+import json
+from pathlib import Path
+
+from benchmarks.common import RESULTS_DIR, bench_records
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="write BENCH_<name>.json perf records into DIR",
+    )
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    """Print every table the benchmarks produced this session."""
+    """Print produced tables and write the --json perf records."""
+    json_dir = config.getoption("--json")
+    records = bench_records()
+    if json_dir and records:
+        out_dir = Path(json_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        terminalreporter.section("perf records")
+        for name, record in sorted(records.items()):
+            path = out_dir / f"BENCH_{name}.json"
+            path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+            terminalreporter.write_line(f"wrote {path}")
+
     if not RESULTS_DIR.exists():
         return
     files = sorted(RESULTS_DIR.glob("*.txt"))

@@ -81,6 +81,12 @@ class DBGCParams:
         ``"rans"`` — the numpy-vectorized semi-static range coder (a
         multi-x speedup at near-parity ratio).  Streams are tagged, so the
         decompressor needs no configuration.
+    intra_frame_workers:
+        Worker threads for the independent stages inside one frame (dense
+        octree, the radial sparse groups, the outlier codec).  ``1``
+        (default) keeps the serial path; higher values run the stages on a
+        process-wide shared pool.  Payloads are byte-identical either way.
+        Runtime-only: not serialized into the container header.
     """
 
     q_xyz: float = 0.02
@@ -98,6 +104,7 @@ class DBGCParams:
     outlier_mode: str = "quadtree"
     strict_cartesian: bool = False
     entropy_backend: str = "adaptive-arith"
+    intra_frame_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.q_xyz <= 0:
@@ -122,6 +129,10 @@ class DBGCParams:
             raise ValueError(
                 f"unknown entropy_backend {self.entropy_backend!r}; "
                 f"available: {', '.join(available_backends())}"
+            )
+        if self.intra_frame_workers < 1:
+            raise ValueError(
+                f"intra_frame_workers must be >= 1, got {self.intra_frame_workers}"
             )
 
     # -- derived values -----------------------------------------------------------

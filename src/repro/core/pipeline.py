@@ -15,6 +15,8 @@ permutation, recomputable at compression time without costing stream bits.
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -36,6 +38,27 @@ from repro.geometry.points import PointCloud
 from repro.octree.codec import OctreeCodec
 
 __all__ = ["CompressionResult", "DBGCCompressor", "DBGCDecompressor"]
+
+# One stage pool per process, shared by every compressor (and, under
+# ParallelFrameCompressor, by every frame a worker process handles), so
+# intra-frame parallelism never multiplies thread counts per compressor.
+_STAGE_POOL: ThreadPoolExecutor | None = None
+_STAGE_POOL_WORKERS = 0
+_STAGE_POOL_LOCK = threading.Lock()
+
+
+def _stage_pool(workers: int) -> ThreadPoolExecutor:
+    """The shared intra-frame stage pool, grown (never shrunk) on demand."""
+    global _STAGE_POOL, _STAGE_POOL_WORKERS
+    with _STAGE_POOL_LOCK:
+        if _STAGE_POOL is None or _STAGE_POOL_WORKERS < workers:
+            if _STAGE_POOL is not None:
+                _STAGE_POOL.shutdown(wait=False)
+            _STAGE_POOL = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="dbgc-stage"
+            )
+            _STAGE_POOL_WORKERS = workers
+        return _STAGE_POOL
 
 
 @dataclass
@@ -159,15 +182,6 @@ class DBGCCompressor:
             sparse_idx = np.flatnonzero(~dense_mask)
             recorder.count("compress.points_dense", len(dense_idx))
 
-            with recorder.span("dbgc.oct"):
-                octree = OctreeCodec(params.leaf_side, backend=params.entropy_backend)
-                dense_payload = octree.encode(xyz[dense_idx])
-                mapping = np.empty(n, dtype=np.int64)
-                if len(dense_idx):
-                    mapping[dense_idx] = octree.mapping(xyz[dense_idx])
-            sizes["dense"] = len(dense_payload)
-            recorder.add_bytes("stream.dense", len(dense_payload))
-
             # Radial grouping of sparse points (Section 3.5, Point Grouping).
             radii = np.linalg.norm(xyz[sparse_idx], axis=1) if len(sparse_idx) else None
             groups = (
@@ -175,16 +189,77 @@ class DBGCCompressor:
                 if len(sparse_idx)
                 else []
             )
+            group_globals = [sparse_idx[g] for g in groups]
 
-            group_payloads: list[bytes] = []
-            outlier_global: list[np.ndarray] = []
-            offset = len(dense_idx)
-            n_sparse_coded = 0
-            for group_local in groups:
-                group_global = sparse_idx[group_local]
-                encoding = encode_sparse_group(
+            # The dense octree, each radial sparse group, and the outlier
+            # codec produce independent byte streams; the closures below run
+            # either inline (serial) or on the shared stage pool.  Worker
+            # threads attach to the compress root so the span tree keeps the
+            # serial shape, and the payloads are byte-identical either way —
+            # only the schedule changes.
+            def encode_dense() -> tuple[bytes, np.ndarray | None]:
+                with recorder.span("dbgc.oct"):
+                    octree = OctreeCodec(params.leaf_side, backend=params.entropy_backend)
+                    dense_payload = octree.encode(xyz[dense_idx])
+                    octree_mapping = (
+                        octree.mapping(xyz[dense_idx]) if len(dense_idx) else None
+                    )
+                return dense_payload, octree_mapping
+
+            def encode_group(group_global: np.ndarray):
+                return encode_sparse_group(
                     xyz[group_global], params, self.u_theta, self.u_phi
                 )
+
+            def encode_out(outlier_xyz: np.ndarray) -> tuple[bytes, np.ndarray]:
+                with recorder.span("dbgc.out"):
+                    return encode_outliers(outlier_xyz, params)
+
+            parallel = params.intra_frame_workers > 1
+            if parallel:
+                pool = _stage_pool(
+                    min(params.intra_frame_workers, 1 + max(1, len(group_globals)))
+                )
+
+                def staged(fn, *args):
+                    def task():
+                        with recorder.attach(root):
+                            return fn(*args)
+
+                    return pool.submit(task)
+
+                dense_future = staged(encode_dense)
+                group_futures = [staged(encode_group, gg) for gg in group_globals]
+                dense_payload, octree_mapping = dense_future.result()
+                encodings = [future.result() for future in group_futures]
+            else:
+                dense_payload, octree_mapping = encode_dense()
+                encodings = [encode_group(gg) for gg in group_globals]
+
+            mapping = np.empty(n, dtype=np.int64)
+            if octree_mapping is not None:
+                mapping[dense_idx] = octree_mapping
+            sizes["dense"] = len(dense_payload)
+            recorder.add_bytes("stream.dense", len(dense_payload))
+
+            outlier_global = [
+                gg[enc.outlier_indices]
+                for gg, enc in zip(group_globals, encodings)
+                if len(enc.outlier_indices)
+            ]
+            outliers = (
+                np.concatenate(outlier_global)
+                if outlier_global
+                else np.empty(0, dtype=np.int64)
+            )
+            # Kick off the outlier stage before the mapping bookkeeping so
+            # it overlaps with the scatter updates below.
+            out_future = staged(encode_out, xyz[outliers]) if parallel else None
+
+            group_payloads: list[bytes] = []
+            offset = len(dense_idx)
+            n_sparse_coded = 0
+            for group_global, encoding in zip(group_globals, encodings):
                 group_payloads.append(encoding.payload)
                 for name, size in encoding.stream_sizes.items():
                     sizes[name] = sizes.get(name, 0) + size
@@ -192,21 +267,15 @@ class DBGCCompressor:
                 mapping[ordered_global] = offset + np.arange(len(ordered_global))
                 offset += len(ordered_global)
                 n_sparse_coded += len(ordered_global)
-                if len(encoding.outlier_indices):
-                    outlier_global.append(group_global[encoding.outlier_indices])
             sizes["sparse"] = sum(len(p) for p in group_payloads)
             recorder.add_bytes("stream.sparse", sizes["sparse"])
             recorder.count("compress.points_sparse", n_sparse_coded)
 
-            with recorder.span("dbgc.out"):
-                outliers = (
-                    np.concatenate(outlier_global)
-                    if outlier_global
-                    else np.empty(0, dtype=np.int64)
-                )
-                outlier_payload, outlier_mapping = encode_outliers(xyz[outliers], params)
-                if len(outliers):
-                    mapping[outliers] = offset + outlier_mapping
+            outlier_payload, outlier_mapping = (
+                out_future.result() if out_future is not None else encode_out(xyz[outliers])
+            )
+            if len(outliers):
+                mapping[outliers] = offset + outlier_mapping
             sizes["outlier"] = len(outlier_payload)
             recorder.add_bytes("stream.outlier", len(outlier_payload))
             recorder.count("compress.points_outlier", len(outliers))

@@ -16,6 +16,13 @@ within ``TH_phi`` of the current line.
 Everything here operates on quantized integers: the decoder reruns exactly
 the same branch logic on exactly the same values, so no branch bits are
 spent outside ``L_ref``.
+
+Each codec ships two implementations with identical output: the production
+kernels (:func:`encode_radial`, :func:`decode_radial`,
+:func:`encode_radial_plain`, :func:`decode_radial_plain`) batch the
+per-point neighbour searches and delta arithmetic with numpy, while the
+original per-point loops are retained with a ``_py`` suffix as the
+byte-identity oracles for tests and perf benchmarks.
 """
 
 from __future__ import annotations
@@ -30,6 +37,10 @@ __all__ = [
     "decode_radial",
     "encode_radial_plain",
     "decode_radial_plain",
+    "encode_radial_py",
+    "decode_radial_py",
+    "encode_radial_plain_py",
+    "decode_radial_plain_py",
 ]
 
 # L_ref symbols (paper Step 8): bottom-left, upper-right, upper-middle, upper-left.
@@ -37,6 +48,8 @@ SYM_BOTTOM_LEFT = 0
 SYM_UPPER_RIGHT = 1
 SYM_UPPER_MIDDLE = 2
 SYM_UPPER_LEFT = 3
+
+_BIG = np.iinfo(np.int64).max
 
 
 def build_consensus(
@@ -83,6 +96,76 @@ def _reference_sets(
     return sets
 
 
+class _ConsensusWindow:
+    """Incrementally maintained Algorithm 2 consensus over a sliding window.
+
+    :func:`_reference_sets` yields contiguous windows ``[start, i)`` whose
+    bounds only move forward, and the overlay has two properties that make
+    incremental maintenance exact: adding a line is the same splice
+    :func:`build_consensus` performs, and removing the *oldest* line
+    cannot resurrect anything (a point only ever dies to a **later**
+    line's span, so the dropped line's span never shadowed a survivor).
+    Maintaining the consensus across lines this way replaces the
+    per-polyline from-scratch rebuild — the dominant cost of Algorithm 2 —
+    with one splice and at most one filter pass per step.
+    """
+
+    __slots__ = ("thetas", "rs", "ids")
+
+    def __init__(self) -> None:
+        self.thetas = np.empty(0, dtype=np.int64)
+        self.rs = np.empty(0, dtype=np.int64)
+        self.ids = np.empty(0, dtype=np.int64)
+
+    def add(self, line_id: int, lt: np.ndarray, lr: np.ndarray) -> None:
+        """Overlay one line (same splice semantics as build_consensus)."""
+        thetas = self.thetas
+        tag = np.full(lt.size, line_id, dtype=np.int64)
+        if thetas.size and thetas[-1] >= lt[0]:
+            i0 = int(np.searchsorted(thetas, lt[0], side="left"))
+            i1 = int(np.searchsorted(thetas, lt[-1], side="right"))
+            self.thetas = np.concatenate([thetas[:i0], lt, thetas[i1:]])
+            self.rs = np.concatenate([self.rs[:i0], lr, self.rs[i1:]])
+            self.ids = np.concatenate([self.ids[:i0], tag, self.ids[i1:]])
+        else:
+            self.thetas = np.concatenate([thetas, lt])
+            self.rs = np.concatenate([self.rs, lr])
+            self.ids = np.concatenate([self.ids, tag])
+
+    def drop(self, line_id: int) -> None:
+        """Remove the (oldest) line's surviving points."""
+        keep = self.ids != line_id
+        if not keep.all():
+            self.thetas = self.thetas[keep]
+            self.rs = self.rs[keep]
+            self.ids = self.ids[keep]
+
+
+def _tail_neighbors(
+    ct: np.ndarray, cr: np.ndarray, t_tail: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Batched consensus lookup: (r_ul, r_um, r_ur, has_both, has_um).
+
+    Vectorized form of :func:`_upper_neighbors` over every tail azimuth of
+    a polyline at once.  Values at positions where the corresponding
+    ``has_*`` mask is False are arbitrary and must not be read.
+    """
+    m = t_tail.size
+    if ct.size == 0:
+        zeros = np.zeros(m, dtype=np.int64)
+        none = np.zeros(m, dtype=bool)
+        return zeros, zeros, zeros, none, none
+    i_ul = np.searchsorted(ct, t_tail, side="left") - 1
+    i_ur = np.searchsorted(ct, t_tail, side="right")
+    has_ul = i_ul >= 0
+    has_ur = i_ur < ct.size
+    has_um = has_ul & (i_ul + 1 < i_ur)
+    r_ul = cr[np.maximum(i_ul, 0)]
+    r_ur = cr[np.minimum(i_ur, ct.size - 1)]
+    r_um = cr[np.minimum(np.maximum(i_ul, 0) + 1, ct.size - 1)]
+    return r_ul, r_um, r_ur, has_ul & has_ur, has_um
+
+
 def encode_radial(
     lines_theta: list[np.ndarray],
     lines_r: list[np.ndarray],
@@ -101,7 +184,152 @@ def encode_radial(
     th_phi, th_r:
         Quantized thresholds ``TH_phi`` (reference-set width) and ``TH_r``
         (flatness test).
+
+    The per-point reference search is batched per polyline: one
+    ``searchsorted`` pair finds every tail's upper neighbours, the flatness
+    test and the four-candidate ``(|r - r_ref|, symbol)`` argmin run as
+    array ops.  Output is byte-identical to :func:`encode_radial_py`.
     """
+    nabla_parts: list[np.ndarray] = []
+    symbol_parts: list[np.ndarray] = []
+    ref_sets = _reference_sets(line_phis, th_phi)
+    lts = [np.asarray(lt, dtype=np.int64) for lt in lines_theta]
+    lrs = [np.asarray(lr, dtype=np.int64) for lr in lines_r]
+    window = _ConsensusWindow()
+    in_window = range(0, 0)
+    prev_head_r: int | None = None
+    for li, (lt, lrr) in enumerate(zip(lts, lrs)):
+        refs_li = ref_sets[li]
+        for j in range(in_window.stop, refs_li.stop):
+            window.add(j, lts[j], lrs[j])
+        for j in range(in_window.start, refs_li.start):
+            window.drop(j)
+        in_window = refs_li
+        ct = window.thetas
+        cr = window.rs
+        head_ref = _head_reference_arr(ct, cr, int(lt[0]), prev_head_r)
+        prev_head_r = int(lrr[0])
+        line_nabla = np.empty(lt.size, dtype=np.int64)
+        line_nabla[0] = lrr[0] - head_ref
+        if lt.size > 1:
+            r_tail = lrr[1:]
+            r_bl = lrr[:-1]
+            r_ul, r_um, r_ur, has_both, has_um = _tail_neighbors(ct, cr, lt[1:])
+            # Situation (2a): flat local scene, bottom-left implied.
+            spread = np.maximum(np.maximum(r_ul, r_ur), r_bl) - np.minimum(
+                np.minimum(r_ul, r_ur), r_bl
+            )
+            refs = r_bl.copy()
+            rows = np.flatnonzero(has_both & (spread > th_r))
+            if rows.size:
+                # Situation (2b): candidate matrix in L_ref symbol order, so
+                # argmin's first-minimum rule is the oracle's
+                # (|r - r_ref|, symbol) tie-break for free.
+                cand = np.stack(
+                    [r_bl[rows], r_ur[rows], r_um[rows], r_ul[rows]], axis=1
+                )
+                keys = np.abs(r_tail[rows, None] - cand)
+                keys[~has_um[rows], SYM_UPPER_MIDDLE] = _BIG
+                sym = np.argmin(keys, axis=1)
+                refs[rows] = cand[np.arange(rows.size), sym]
+                symbol_parts.append(sym.astype(np.int64))
+            line_nabla[1:] = r_tail - refs
+        nabla_parts.append(line_nabla)
+    nabla = (
+        np.concatenate(nabla_parts)
+        if nabla_parts
+        else np.empty(0, dtype=np.int64)
+    )
+    symbols = (
+        np.concatenate(symbol_parts)
+        if symbol_parts
+        else np.empty(0, dtype=np.int64)
+    )
+    return nabla, symbols
+
+
+def decode_radial(
+    lines_theta: list[np.ndarray],
+    line_phis: list[int],
+    nabla: np.ndarray,
+    symbols: np.ndarray,
+    th_phi: int,
+    th_r: int,
+) -> list[np.ndarray]:
+    """Inverse of :func:`encode_radial`: rebuild per-line r values.
+
+    Decoding is inherently sequential inside a line (the flatness branch
+    needs the just-decoded bottom-left r), but the consensus neighbour
+    lookups are still batched per line before the scalar walk.
+    """
+    ref_sets = _reference_sets(line_phis, th_phi)
+    nabla_l = nabla.tolist() if isinstance(nabla, np.ndarray) else list(nabla)
+    ni = 0
+    symbol_iter = iter(symbols.tolist())
+    lts = [np.asarray(lt, dtype=np.int64) for lt in lines_theta]
+    window = _ConsensusWindow()
+    in_window = range(0, 0)
+    lines_r: list[np.ndarray] = []
+    prev_head_r: int | None = None
+    for li, lt in enumerate(lts):
+        refs_li = ref_sets[li]
+        for j in range(in_window.stop, refs_li.stop):
+            window.add(j, lts[j], lines_r[j])
+        for j in range(in_window.start, refs_li.start):
+            window.drop(j)
+        in_window = refs_li
+        ct = window.thetas
+        cr = window.rs
+        head_ref = _head_reference_arr(ct, cr, int(lt[0]), prev_head_r)
+        lr: list[int] = [nabla_l[ni] + head_ref]
+        ni += 1
+        if lt.size > 1:
+            r_ul, r_um, r_ur, has_both, has_um = _tail_neighbors(ct, cr, lt[1:])
+            ul_l = r_ul.tolist()
+            um_l = r_um.tolist()
+            ur_l = r_ur.tolist()
+            both_l = has_both.tolist()
+            hum_l = has_um.tolist()
+            for j in range(lt.size - 1):
+                r_bl = lr[-1]
+                if not both_l[j]:
+                    ref = r_bl
+                else:
+                    ul = ul_l[j]
+                    ur = ur_l[j]
+                    if max(ul, ur, r_bl) - min(ul, ur, r_bl) <= th_r:
+                        ref = r_bl
+                    else:
+                        symbol = next(symbol_iter)
+                        if symbol == SYM_BOTTOM_LEFT:
+                            ref = r_bl
+                        elif symbol == SYM_UPPER_RIGHT:
+                            ref = ur
+                        elif symbol == SYM_UPPER_MIDDLE:
+                            if not hum_l[j]:
+                                raise ValueError(
+                                    "L_ref names a missing upper-middle point"
+                                )
+                            ref = um_l[j]
+                        elif symbol == SYM_UPPER_LEFT:
+                            ref = ul
+                        else:
+                            raise ValueError(f"invalid L_ref symbol {symbol}")
+                lr.append(nabla_l[ni] + ref)
+                ni += 1
+        prev_head_r = lr[0]
+        lines_r.append(np.asarray(lr, dtype=np.int64))
+    return lines_r
+
+
+def encode_radial_py(
+    lines_theta: list[np.ndarray],
+    lines_r: list[np.ndarray],
+    line_phis: list[int],
+    th_phi: int,
+    th_r: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reference per-point loop for :func:`encode_radial` (identity oracle)."""
     nabla: list[int] = []
     symbols: list[int] = []
     ref_sets = _reference_sets(line_phis, th_phi)
@@ -127,7 +355,7 @@ def encode_radial(
     return np.asarray(nabla, dtype=np.int64), np.asarray(symbols, dtype=np.int64)
 
 
-def decode_radial(
+def decode_radial_py(
     lines_theta: list[np.ndarray],
     line_phis: list[int],
     nabla: np.ndarray,
@@ -135,7 +363,7 @@ def decode_radial(
     th_phi: int,
     th_r: int,
 ) -> list[np.ndarray]:
-    """Inverse of :func:`encode_radial`: rebuild per-line r values."""
+    """Reference per-point loop for :func:`decode_radial` (identity oracle)."""
     ref_sets = _reference_sets(line_phis, th_phi)
     nabla_iter = iter(nabla.tolist())
     symbol_iter = iter(symbols.tolist())
@@ -170,6 +398,19 @@ def _head_reference(
         idx = bisect_left(c_thetas, t) - 1  # rightmost with theta < t
         if idx >= 0:
             return c_rs[idx]
+    if prev_head_r is not None:
+        return prev_head_r
+    return 0
+
+
+def _head_reference_arr(
+    ct: np.ndarray, cr: np.ndarray, t: int, prev_head_r: int | None
+) -> int:
+    """Array-backed :func:`_head_reference` for the vectorized codecs."""
+    if ct.size:
+        idx = int(np.searchsorted(ct, t, side="left")) - 1
+        if idx >= 0:
+            return int(cr[idx])
     if prev_head_r is not None:
         return prev_head_r
     return 0
@@ -242,11 +483,53 @@ def _tail_reference_decode(
 
 
 def encode_radial_plain(lines_r: list[np.ndarray]) -> np.ndarray:
-    """-Radial ablation: plain delta coding of r.
+    """-Radial ablation: plain delta coding of r (vectorized).
 
     Tails delta against their predecessor on the line; heads delta against
-    the previous line's head (the first head is stored raw).
+    the previous line's head (the first head is stored raw).  One global
+    ``diff`` plus a scatter of head-to-head deltas replaces the per-point
+    loop retained in :func:`encode_radial_plain_py`.
     """
+    if not lines_r:
+        return np.empty(0, dtype=np.int64)
+    all_r = np.concatenate([np.asarray(lr, dtype=np.int64) for lr in lines_r])
+    lengths = np.fromiter(
+        (len(lr) for lr in lines_r), dtype=np.int64, count=len(lines_r)
+    )
+    bounds = np.cumsum(lengths)
+    starts = bounds - lengths
+    nabla = np.empty(all_r.size, dtype=np.int64)
+    nabla[0] = all_r[0]
+    nabla[1:] = np.diff(all_r)
+    heads = all_r[starts]
+    nabla[starts[1:]] = np.diff(heads)
+    return nabla
+
+
+def decode_radial_plain(
+    nabla: np.ndarray, line_lengths: list[int]
+) -> list[np.ndarray]:
+    """Inverse of :func:`encode_radial_plain`, as a segmented cumsum.
+
+    With ``c = cumsum(nabla)``, the head values chain through
+    ``heads = cumsum(nabla[starts])``, and every point is
+    ``c + repeat(heads - c[starts], lengths)`` — integer-exact, so the
+    output matches :func:`decode_radial_plain_py` bit for bit.
+    """
+    lengths = np.asarray(line_lengths, dtype=np.int64)
+    if lengths.size == 0:
+        return []
+    nabla = np.asarray(nabla, dtype=np.int64)
+    bounds = np.cumsum(lengths)
+    starts = bounds - lengths
+    c = np.cumsum(nabla)
+    heads = np.cumsum(nabla[starts])
+    values = c + np.repeat(heads - c[starts], lengths)
+    return [values[s:e] for s, e in zip(starts.tolist(), bounds.tolist())]
+
+
+def encode_radial_plain_py(lines_r: list[np.ndarray]) -> np.ndarray:
+    """Reference loop for :func:`encode_radial_plain` (identity oracle)."""
     nabla: list[int] = []
     prev_head: int | None = None
     for lr in lines_r:
@@ -259,10 +542,10 @@ def encode_radial_plain(lines_r: list[np.ndarray]) -> np.ndarray:
     return np.asarray(nabla, dtype=np.int64)
 
 
-def decode_radial_plain(
+def decode_radial_plain_py(
     nabla: np.ndarray, line_lengths: list[int]
 ) -> list[np.ndarray]:
-    """Inverse of :func:`encode_radial_plain`."""
+    """Reference loop for :func:`decode_radial_plain` (identity oracle)."""
     nabla_iter = iter(nabla.tolist())
     lines_r: list[np.ndarray] = []
     prev_head: int | None = None

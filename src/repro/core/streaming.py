@@ -52,13 +52,18 @@ class StreamStats:
 
     @property
     def compression_ratio(self) -> float:
+        """Raw-to-compressed ratio; 0.0 before any payload is recorded.
+
+        0.0 (not inf) so dashboards and JSON reports stay finite on an
+        empty or not-yet-started stream.
+        """
         if self.total_compressed_bytes == 0:
-            return float("inf")
+            return 0.0
         return self.total_raw_bytes / self.total_compressed_bytes
 
     def bandwidth_mbps(self, frames_per_second: float) -> float:
         """Mean link bandwidth needed at the given frame rate."""
-        if not self.frame_sizes:
+        if not self.frame_sizes or self.n_frames == 0:
             return 0.0
         mean_size = self.total_compressed_bytes / self.n_frames
         return 8.0 * frames_per_second * mean_size / 1e6

@@ -6,7 +6,25 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["BoundingBox", "BoundingCube"]
+__all__ = ["BoundingBox", "BoundingCube", "pow2_cover"]
+
+
+def pow2_cover(extent: float, leaf_side: float) -> tuple[float, int]:
+    """Smallest ``(side, depth)`` with ``side == leaf_side * 2**depth >= extent``.
+
+    The sizing rule shared by the octree root cube and the outlier
+    quadtree: grow the leaf side by doubling until it covers ``extent``,
+    so recursive halving of the result lands exactly back on the leaf
+    size.  The tiny epsilon keeps points exactly on the max boundary
+    inside the half-open cell decomposition.  ``leaf_side`` must be
+    positive (both callers validate it).
+    """
+    depth = 0
+    side = leaf_side
+    while side < extent * (1.0 + 1e-12) or side == 0.0:
+        side *= 2.0
+        depth += 1
+    return side, depth
 
 
 @dataclass(frozen=True)
@@ -83,14 +101,7 @@ class BoundingCube:
         if leaf_side <= 0:
             raise ValueError(f"leaf_side must be positive, got {leaf_side}")
         box = BoundingBox.of_points(np.asarray(xyz, dtype=np.float64))
-        extent = max(box.extents)
-        depth = 0
-        side = leaf_side
-        # Tiny epsilon so points exactly on the max boundary stay inside the
-        # half-open cell decomposition.
-        while side < extent * (1.0 + 1e-12) or side == 0.0:
-            side *= 2.0
-            depth += 1
+        side, depth = pow2_cover(max(box.extents), leaf_side)
         return cls(box.lo, side), depth
 
     @property

@@ -9,9 +9,28 @@ DBSCAN-style algorithms.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 __all__ = ["HashGrid"]
+
+
+@lru_cache(maxsize=8)
+def _neighbor_offsets(reach: int) -> np.ndarray:
+    """Packed-key offsets of the ``(2*reach+1)^3`` block, ascending.
+
+    Arithmetic (not bitwise) composition so negative components borrow
+    across the packed 21-bit fields; (dx, dy, dz) lexicographic order is
+    exactly ascending key order, which the candidate lookup relies on to
+    reproduce the historical nested-loop concatenation order.
+    """
+    r = np.arange(-reach, reach + 1, dtype=np.int64)
+    return (
+        r[:, None, None] * (1 << 42)
+        + r[None, :, None] * (1 << 21)
+        + r[None, None, :]
+    ).ravel()
 
 
 class HashGrid:
@@ -33,7 +52,10 @@ class HashGrid:
             raise ValueError(f"expected (n, 3) array, got {self._xyz.shape}")
         self.cell_size = float(cell_size)
         self._cells = np.floor(self._xyz / self.cell_size).astype(np.int64)
-        # Group point indices by cell: sort by cell key, then slice.
+        # Group point indices by cell: sort by cell key, then slice.  The
+        # sorted unique-key/slice arrays double as the vectorized lookup
+        # table for _candidates_around (searchsorted over all neighbor
+        # keys at once, the cluster_approx trick).
         if len(self._xyz):
             keys = self._pack(self._cells)
             order = np.argsort(keys, kind="stable")
@@ -41,10 +63,18 @@ class HashGrid:
             boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
             starts = np.concatenate([[0], boundaries])
             ends = np.concatenate([boundaries, [len(keys)]])
+            self._order = order
+            self._unique_keys = sorted_keys[starts]
+            self._starts = starts
+            self._ends = ends
             self._bucket: dict[int, np.ndarray] = {
                 int(sorted_keys[s]): order[s:e] for s, e in zip(starts, ends)
             }
         else:
+            self._order = np.empty(0, dtype=np.int64)
+            self._unique_keys = np.empty(0, dtype=np.int64)
+            self._starts = np.empty(0, dtype=np.int64)
+            self._ends = np.empty(0, dtype=np.int64)
             self._bucket = {}
 
     @staticmethod
@@ -77,19 +107,29 @@ class HashGrid:
         return self._bucket.get(int(key), np.empty(0, dtype=np.int64))
 
     def _candidates_around(self, cell: np.ndarray, reach: int) -> np.ndarray:
-        """Indices of points in the ``(2*reach+1)^3`` block around ``cell``."""
-        chunks = []
-        for dx in range(-reach, reach + 1):
-            for dy in range(-reach, reach + 1):
-                for dz in range(-reach, reach + 1):
-                    key = self._pack(
-                        np.asarray([[cell[0] + dx, cell[1] + dy, cell[2] + dz]], dtype=np.int64)
-                    )[0]
-                    bucket = self._bucket.get(int(key))
-                    if bucket is not None:
-                        chunks.append(bucket)
-        if not chunks:
+        """Indices of points in the ``(2*reach+1)^3`` block around ``cell``.
+
+        One searchsorted over all block keys replaces the historical
+        nested dx/dy/dz loop of dict probes; the ascending offset order
+        keeps the concatenation order identical to that loop's.
+        """
+        if len(self._unique_keys) == 0:
             return np.empty(0, dtype=np.int64)
+        offset = 1 << 20
+        low = cell - reach + offset
+        high = cell + reach + offset
+        if np.any(low < 0) or np.any(high >= (1 << 21)):
+            raise ValueError("cell coordinates out of packable range")
+        center_key = self._pack(np.asarray(cell, dtype=np.int64)[None, :])[0]
+        keys = center_key + _neighbor_offsets(reach)
+        idx = np.searchsorted(self._unique_keys, keys)
+        idx = np.minimum(idx, len(self._unique_keys) - 1)
+        hit = idx[self._unique_keys[idx] == keys]
+        if not len(hit):
+            return np.empty(0, dtype=np.int64)
+        chunks = [
+            self._order[s:e] for s, e in zip(self._starts[hit], self._ends[hit])
+        ]
         return np.concatenate(chunks)
 
     def neighbors_within(self, index: int, radius: float) -> np.ndarray:

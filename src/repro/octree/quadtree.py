@@ -25,6 +25,7 @@ from repro.entropy.backend import (
     get_backend,
 )
 from repro.entropy.varint import decode_uvarint, encode_uvarint
+from repro.geometry.bbox import pow2_cover
 from repro.octree.morton import MAX_DEPTH_2D, deinterleave2, interleave2
 
 __all__ = ["QuadtreeCodec"]
@@ -63,11 +64,7 @@ class QuadtreeCodec:
     def _quantize(self, xy: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
         lo = xy.min(axis=0)
         extent = float(max(xy.max(axis=0) - lo)) if len(xy) else 0.0
-        depth = 0
-        side = self.leaf_side
-        while side < extent * (1.0 + 1e-12) or side == 0.0:
-            side *= 2.0
-            depth += 1
+        _side, depth = pow2_cover(extent, self.leaf_side)
         if depth > MAX_DEPTH_2D:
             raise ValueError(f"quadtree depth {depth} exceeds Morton capacity")
         cells = np.floor((xy - lo) / self.leaf_side).astype(np.int64)

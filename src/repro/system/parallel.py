@@ -10,6 +10,7 @@ compressor's.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Iterator
@@ -60,6 +61,11 @@ class ParallelFrameCompressor:
     frames are in flight or buffered at any moment, so an unbounded
     source — a live sensor feed — streams in constant memory instead of
     being drained upfront.
+
+    When ``params.intra_frame_workers > 1`` the two levels compose: each
+    worker process also parallelizes the stages inside its frame, with the
+    per-process thread count capped at ``cpu_count // workers`` so the
+    total never oversubscribes the machine.
     """
 
     def __init__(
@@ -70,7 +76,17 @@ class ParallelFrameCompressor:
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
-        self.params = params if params is not None else DBGCParams()
+        params = params if params is not None else DBGCParams()
+        # Compose the two parallelism levels without oversubscribing: with
+        # N frame processes, each worker's intra-frame stage pool gets at
+        # most cpu_count // N threads.  Each process lazily builds its own
+        # stage pool, so the knob composes instead of multiplying.
+        if params.intra_frame_workers > 1:
+            per_worker = max(1, (os.cpu_count() or 1) // workers)
+            params = params.with_updates(
+                intra_frame_workers=min(params.intra_frame_workers, per_worker)
+            )
+        self.params = params
         self.sensor = sensor if sensor is not None else SensorModel.benchmark_default()
         self.workers = workers
         self._pool: ProcessPoolExecutor | None = None

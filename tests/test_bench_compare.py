@@ -1,0 +1,124 @@
+"""Tests for the perf-regression comparator (benchmarks/compare.py)."""
+
+import copy
+import json
+
+import pytest
+
+from benchmarks.compare import SCHEMA, compare, main
+
+
+def record(**overrides) -> dict:
+    base = {
+        "schema": SCHEMA,
+        "name": "fig13",
+        "git_rev": "abc123",
+        "sensor_scale": 1.0,
+        "wall_times_s": {"compress.org": 0.100, "compress.spa": 0.200},
+        "sizes_bytes": {"dbgc.q0.02": 51200},
+        "point_counts": {"kitti-city": 120000},
+    }
+    base.update(overrides)
+    return base
+
+
+class TestCompare:
+    def test_identical_records_pass(self):
+        assert compare(record(), record()) == []
+
+    def test_regression_over_20_percent_fails(self):
+        current = record(
+            wall_times_s={"compress.org": 0.121, "compress.spa": 0.200}
+        )
+        problems = compare(record(), current)
+        assert len(problems) == 1
+        assert "compress.org" in problems[0]
+
+    def test_regression_within_tolerance_passes(self):
+        current = record(
+            wall_times_s={"compress.org": 0.119, "compress.spa": 0.200}
+        )
+        assert compare(record(), current) == []
+
+    def test_speedup_passes(self):
+        current = record(
+            wall_times_s={"compress.org": 0.010, "compress.spa": 0.020}
+        )
+        assert compare(record(), current) == []
+
+    def test_custom_tolerance(self):
+        current = record(wall_times_s={"compress.org": 0.150})
+        assert compare(record(), current, tolerance=0.60) == []
+        assert compare(record(), current, tolerance=0.20)
+
+    def test_ignore_wall_skips_timings_not_sizes(self):
+        current = record(
+            wall_times_s={"compress.org": 9.9},
+            sizes_bytes={"dbgc.q0.02": 99},
+        )
+        problems = compare(record(), current, ignore_wall=True)
+        assert len(problems) == 1
+        assert "sizes_bytes" in problems[0]
+
+    def test_size_mismatch_fails(self):
+        current = record(sizes_bytes={"dbgc.q0.02": 51201})
+        problems = compare(record(), current)
+        assert any("sizes_bytes" in p for p in problems)
+
+    def test_point_count_mismatch_fails(self):
+        current = record(point_counts={"kitti-city": 119999})
+        problems = compare(record(), current)
+        assert any("point_counts" in p for p in problems)
+
+    def test_disjoint_keys_are_ignored(self):
+        baseline = record(wall_times_s={"old.metric": 1.0})
+        current = record(wall_times_s={"new.metric": 9.0})
+        assert compare(baseline, current) == []
+
+    def test_different_bench_names_fail(self):
+        problems = compare(record(), record(name="fig12"))
+        assert problems and "different benches" in problems[0]
+
+    def test_different_sensor_scales_fail(self):
+        problems = compare(record(), record(sensor_scale=0.25))
+        assert problems and "sensor scales" in problems[0]
+
+
+class TestMain:
+    def _write(self, tmp_path, name, rec):
+        path = tmp_path / name
+        path.write_text(json.dumps(rec))
+        return str(path)
+
+    def test_exit_zero_on_match(self, tmp_path, capsys):
+        a = self._write(tmp_path, "a.json", record())
+        b = self._write(tmp_path, "b.json", record())
+        assert main([a, b]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_regression(self, tmp_path, capsys):
+        a = self._write(tmp_path, "a.json", record())
+        slow = copy.deepcopy(record())
+        slow["wall_times_s"]["compress.spa"] = 0.500
+        b = self._write(tmp_path, "b.json", slow)
+        assert main([a, b]) == 1
+        assert "compress.spa" in capsys.readouterr().out
+
+    def test_loose_tolerance_flag(self, tmp_path):
+        a = self._write(tmp_path, "a.json", record())
+        slow = copy.deepcopy(record())
+        slow["wall_times_s"]["compress.spa"] = 0.500
+        b = self._write(tmp_path, "b.json", slow)
+        assert main([a, b, "--tolerance", "2.0"]) == 0
+
+    def test_schema_mismatch_exits_2(self, tmp_path):
+        a = self._write(tmp_path, "a.json", record(schema="bogus/9"))
+        b = self._write(tmp_path, "b.json", record())
+        with pytest.raises(SystemExit) as exc:
+            main([a, b])
+        assert exc.value.code == 2
+
+    def test_missing_file_raises_system_exit(self, tmp_path):
+        b = self._write(tmp_path, "b.json", record())
+        with pytest.raises(SystemExit):
+            main([str(tmp_path / "absent.json"), b])

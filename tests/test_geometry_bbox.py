@@ -82,3 +82,38 @@ class TestBoundingCube:
         cube = BoundingCube((1.0, 2.0, 3.0), 2.0)
         assert cube.hi == (3.0, 4.0, 5.0)
         assert cube.center == (2.0, 3.0, 4.0)
+
+
+class TestPow2Cover:
+    """The sizing rule shared by the octree cube and the outlier quadtree."""
+
+    def test_exact_power_of_two_multiples(self):
+        from repro.geometry.bbox import pow2_cover
+
+        assert pow2_cover(0.0, 0.5) == (0.5, 0)
+        # An exact-multiple extent still doubles: the boundary epsilon
+        # keeps points on the max face inside the half-open cells.
+        assert pow2_cover(0.5, 0.5) == (1.0, 1)
+        assert pow2_cover(0.6, 0.5) == (1.0, 1)
+        assert pow2_cover(7.9, 0.5) == (8.0, 4)
+
+    def test_side_is_leaf_times_power_and_covers(self):
+        from repro.geometry.bbox import pow2_cover
+
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            extent = float(rng.uniform(0.0, 100.0))
+            leaf = float(rng.uniform(1e-3, 2.0))
+            side, depth = pow2_cover(extent, leaf)
+            assert side == leaf * 2**depth
+            assert side >= extent * (1.0 - 1e-12)
+            assert depth == 0 or side / 2.0 < extent * (1.0 + 1e-12)
+
+    def test_matches_for_leaf_size(self):
+        rng = np.random.default_rng(4)
+        xyz = rng.uniform(-20, 20, size=(50, 3))
+        cube, depth = BoundingCube.for_leaf_size(xyz, 0.04)
+        extent = float(np.max(xyz.max(axis=0) - xyz.min(axis=0)))
+        from repro.geometry.bbox import pow2_cover
+
+        assert (cube.side, depth) == pow2_cover(extent, 0.04)

@@ -105,3 +105,70 @@ class TestQueries:
         assert set(grid.query_ball(center, radius).tolist()) == _brute_force_ball(
             pts, center, radius
         )
+
+
+def _candidates_loop(grid: HashGrid, cell: np.ndarray, reach: int) -> np.ndarray:
+    """The historical nested dx/dy/dz dict-probe implementation."""
+    chunks = []
+    for dx in range(-reach, reach + 1):
+        for dy in range(-reach, reach + 1):
+            for dz in range(-reach, reach + 1):
+                key = grid._pack(
+                    np.asarray(
+                        [[cell[0] + dx, cell[1] + dy, cell[2] + dz]], dtype=np.int64
+                    )
+                )[0]
+                bucket = grid._bucket.get(int(key))
+                if bucket is not None:
+                    chunks.append(bucket)
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(chunks)
+
+
+class TestCandidatesAroundRegression:
+    """The vectorized block lookup must be order-identical to the loop."""
+
+    def test_matches_loop_order_exactly(self):
+        rng = np.random.default_rng(17)
+        pts = rng.uniform(-4, 4, size=(500, 3))
+        grid = HashGrid(pts, 0.6)
+        for reach in (1, 2, 3):
+            for center in pts[:25]:
+                cell = np.floor(center / grid.cell_size).astype(np.int64)
+                fast = grid._candidates_around(cell, reach)
+                assert fast.tolist() == _candidates_loop(grid, cell, reach).tolist()
+
+    def test_empty_block_and_empty_grid(self):
+        grid = HashGrid(np.zeros((2, 3)), 1.0)
+        far = np.asarray([500, 500, 500], dtype=np.int64)
+        assert len(grid._candidates_around(far, 1)) == 0
+        empty = HashGrid(np.empty((0, 3)), 1.0)
+        assert len(empty._candidates_around(np.zeros(3, dtype=np.int64), 1)) == 0
+
+    def test_out_of_range_cell_rejected(self):
+        grid = HashGrid(np.zeros((1, 3)), 1.0)
+        edge = np.asarray([(1 << 20) - 1, 0, 0], dtype=np.int64)
+        with pytest.raises(ValueError):
+            grid._candidates_around(edge, 1)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-30, 30, allow_nan=False),
+                st.floats(-30, 30, allow_nan=False),
+                st.floats(-30, 30, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=50,
+        ),
+        st.integers(0, 3),
+        st.integers(0, 2),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_candidates_property(self, points, point_index, reach):
+        pts = np.array(points)
+        grid = HashGrid(pts, cell_size=1.0)
+        cell = grid._cells[point_index % len(pts)]
+        fast = grid._candidates_around(cell, reach)
+        assert fast.tolist() == _candidates_loop(grid, cell, reach).tolist()

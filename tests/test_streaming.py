@@ -70,7 +70,19 @@ class TestStreamStats:
 
     def test_empty(self):
         stats = StreamStats()
-        assert stats.compression_ratio == float("inf")
+        # Empty streams report finite zeros, not inf/NaN.
+        assert stats.compression_ratio == 0.0
+        assert stats.bandwidth_mbps(10.0) == 0.0
+
+    def test_zero_size_payloads_stay_finite(self):
+        stats = StreamStats()
+        stats.record(0, 0)
+        assert stats.n_frames == 1
+        assert stats.compression_ratio == 0.0
+        assert stats.bandwidth_mbps(10.0) == 0.0
+
+    def test_desynced_frame_sizes_guarded(self):
+        stats = StreamStats(frame_sizes=[100])
         assert stats.bandwidth_mbps(10.0) == 0.0
 
 
