@@ -1,0 +1,77 @@
+"""Fleet-scale ingest: aggregate throughput vs concurrent client count.
+
+Each client is paced to a slow per-client uplink, so one client cannot
+saturate the server and aggregate frames/sec should scale close to
+linearly with the fleet size — the multi-client tier's headline claim.
+The scaling table lands in ``benchmarks/results/`` and the perf record in
+``BENCH_fleet.json`` (see ``benchmarks/compare.py``).
+
+CI runs a reduced sweep via ``DBGC_FLEET_CLIENTS=1,2``; the committed
+baseline covers 1,2,4,8 and the comparison intersects shared keys.
+"""
+
+import os
+
+from benchmarks.common import record_bench, write_result
+from repro.eval import render_table
+from repro.system import FleetSpec, ShardedFrameStore, run_fleet
+
+CLIENT_COUNTS = [
+    int(x) for x in os.environ.get("DBGC_FLEET_CLIENTS", "1,2,4,8").split(",")
+]
+FRAMES = 25
+#: Per-client uplink pacing (Mbps).  Slow enough that the wire, not the
+#: server, is each client's bottleneck: the scaling headroom is real.
+PER_CLIENT_MBPS = 0.1
+N_SHARDS = 4
+
+
+def test_fleet_scaling(benchmark):
+    results = {}
+
+    def run_all():
+        out = {}
+        for n in CLIENT_COUNTS:
+            spec = FleetSpec(
+                n_clients=n,
+                frames_per_client=FRAMES,
+                seed=11,
+                bandwidth_mbps=PER_CLIENT_MBPS,
+            )
+            with ShardedFrameStore.sqlite(N_SHARDS) as store:
+                result = run_fleet(spec, store)
+                stored_bytes = store.total_payload_bytes()
+            assert result.n_stored == n * FRAMES, (n, result.n_stored)
+            assert result.n_dropped == 0 and result.n_quarantined == 0
+            out[n] = (result.wall_s, result.frames_per_second, stored_bytes)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    fps = {n: v[1] for n, v in results.items()}
+    rows = [
+        [str(n), f"{results[n][0]:.2f} s", f"{fps[n]:.1f}",
+         f"{fps[n] / fps[CLIENT_COUNTS[0]]:.2f}x"]
+        for n in CLIENT_COUNTS
+    ]
+    text = render_table(
+        ["clients", "wall", "frames/sec", "speedup"],
+        rows,
+        title=(
+            f"Fleet ingest scaling: {FRAMES} frames/client at "
+            f"{PER_CLIENT_MBPS:g} Mbps/client, {N_SHARDS} store shards"
+        ),
+    )
+    write_result("fleet_scaling", text)
+    record_bench(
+        "fleet",
+        wall_times_s={f"clients{n}": results[n][0] for n in CLIENT_COUNTS},
+        sizes_bytes={
+            f"clients{n}_stored_bytes": results[n][2] for n in CLIENT_COUNTS
+        },
+        point_counts={f"clients{n}_frames": n * FRAMES for n in CLIENT_COUNTS},
+    )
+    # The acceptance bar: 8 concurrent clients must beat one client's
+    # aggregate ingest rate by at least 2x (it should be close to 8x).
+    if 1 in fps and 8 in fps:
+        assert fps[8] >= 2.0 * fps[1], fps

@@ -11,6 +11,8 @@ Subcommands:
 - ``reproduce``  — re-run one of the paper's tables/figures
 - ``bench``      — quick ratio comparison of all methods on one frame
 - ``stream``     — run the client/server pipeline over a (faulty) uplink
+- ``serve``      — run a standalone multi-client ingest server
+- ``fleet``      — drive N concurrent clients against one server (loadgen)
 
 All commands run offline; see ``dbgc <command> --help`` for options.
 """
@@ -329,6 +331,94 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0 if accounted == args.frames else 1
 
 
+def _open_serve_store(args: argparse.Namespace):
+    from repro.system import ShardedFrameStore, SqliteFrameStore
+
+    if args.shards > 1:
+        return ShardedFrameStore.sqlite(
+            args.shards, directory=args.store if args.store else None
+        )
+    return SqliteFrameStore(args.store if args.store else ":memory:")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.system import DbgcServer
+
+    store = _open_serve_store(args)
+    with store, DbgcServer(
+        store,
+        mode=args.mode,
+        host=args.host,
+        port=args.port,
+        max_clients=args.max_clients,
+    ) as server:
+        host, port = server.address
+        print(f"listening on {host}:{port} "
+              f"(mode={args.mode}, max-clients={args.max_clients}, "
+              f"shards={args.shards})", flush=True)
+        try:
+            if args.exit_after_streams > 0:
+                server.wait_for_streams(args.exit_after_streams, timeout=args.timeout)
+            else:
+                while True:
+                    time.sleep(1.0)
+        except KeyboardInterrupt:
+            pass
+        print(f"served {server.connections} connection(s), "
+              f"{server.streams_ended} stream(s) ended, "
+              f"{len(store)} frame(s) stored, "
+              f"{len(server.quarantine)} quarantined")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.eval.reporting import render_table
+    from repro.system import FaultSpec, FleetSpec, ShardedFrameStore, run_fleet
+
+    disconnect_local = frozenset(
+        int(i) for i in args.disconnect_frames.split(",") if i.strip()
+    )
+    spec = FleetSpec(
+        n_clients=args.clients,
+        frames_per_client=args.frames,
+        seed=args.seed,
+        fault_spec=FaultSpec(
+            corrupt_rate=args.corrupt_rate,
+            ack_drop_rate=args.ack_drop_rate,
+        ),
+        force_disconnect_local=disconnect_local,
+        bandwidth_mbps=args.bandwidth if args.bandwidth > 0 else None,
+        ack_timeout=args.ack_timeout,
+    )
+    with ShardedFrameStore.sqlite(args.shards) as store:
+        result = run_fleet(spec, store, max_clients=args.max_clients)
+        rows = []
+        for cid in sorted(result.reports):
+            report = result.reports[cid]
+            rows.append([
+                f"client {cid}",
+                report.n_stored,
+                report.n_quarantined,
+                report.n_dropped,
+                report.total_retries,
+            ])
+        print(render_table(
+            ["stream", "stored", "quarantined", "dropped", "retries"],
+            rows,
+            title=f"fleet: {spec.n_clients} clients x {spec.frames_per_client} frames",
+        ))
+        print(f"aggregate: {result.n_stored} stored in {result.wall_s:.2f}s "
+              f"({result.frames_per_second:.1f} fps), "
+              f"peak concurrency {result.server.peak_active_clients}")
+        shard_bytes = store.shard_payload_bytes()
+        print("shards: " + ", ".join(
+            f"#{k}={nbytes}B" for k, nbytes in enumerate(shard_bytes)
+        ))
+    total = spec.n_clients * spec.frames_per_client
+    accounted = result.n_stored + result.n_quarantined + result.n_dropped
+    return 0 if accounted == total and result.n_stored + result.n_quarantined == total else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="dbgc",
@@ -473,6 +563,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_sensor_arg(p)
     p.set_defaults(func=_cmd_stream)
+
+    p = sub.add_parser("serve", help="run a standalone multi-client ingest server")
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=0, help="bind port (0 = ephemeral)")
+    p.add_argument(
+        "--max-clients", type=int, default=8,
+        help="concurrent connection-handler cap",
+    )
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="SQLite store shards (frame_index %% shards routing)",
+    )
+    p.add_argument(
+        "--store", default="",
+        help="store path: SQLite file, or shard directory when --shards > 1 "
+        "(default: in-memory)",
+    )
+    p.add_argument(
+        "--mode", default="store", choices=["decompress", "store"],
+        help="server behavior: decompress clouds or store raw payloads",
+    )
+    p.add_argument(
+        "--exit-after-streams", type=int, default=0, metavar="N",
+        help="exit once N client streams have ENDed (0 = run until Ctrl-C)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="seconds to wait for --exit-after-streams before giving up",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "fleet", help="drive N concurrent clients against one server (loadgen)"
+    )
+    p.add_argument("--clients", type=int, default=4, help="concurrent clients")
+    p.add_argument("--frames", type=int, default=25, help="frames per client")
+    p.add_argument("--seed", type=int, default=0, help="payload/fault root seed")
+    p.add_argument(
+        "--shards", type=int, default=2, help="SQLite store shards on the server"
+    )
+    p.add_argument(
+        "--max-clients", type=int, default=None,
+        help="server handler cap (default: the client count)",
+    )
+    p.add_argument(
+        "--corrupt-rate", type=float, default=0.0,
+        help="per-attempt probability of payload bit flips",
+    )
+    p.add_argument(
+        "--ack-drop-rate", type=float, default=0.0,
+        help="probability a server ACK is lost (exercises dedupe)",
+    )
+    p.add_argument(
+        "--disconnect-frames", default="",
+        help="comma-separated local frame numbers cut mid-record on every client",
+    )
+    p.add_argument(
+        "--bandwidth", type=float, default=0.0,
+        help="per-client uplink bandwidth in Mbps; 0 disables pacing",
+    )
+    p.add_argument(
+        "--ack-timeout", type=float, default=2.0,
+        help="seconds to wait for a server ACK before retransmitting",
+    )
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser("bench", help="compare all methods on one frame")
     p.add_argument("--scene", default="kitti-city", choices=sorted(SCENE_BUILDERS))

@@ -16,14 +16,23 @@ capped exponential backoff, server-side quarantine and dedupe, and
 bounded-queue degradation policies for congested links.  A seeded
 :class:`~repro.system.faults.FaultyChannel` injects deterministic bit
 flips, truncations, disconnects, and bandwidth jitter to prove it.
+
+The ingest tier is multi-client: the server runs a handler thread per
+connection (capped by ``max_clients``), keys all per-stream state by the
+stream id each client announces in its HELLO record, and can fan storage
+out over a :class:`~repro.system.storage.ShardedFrameStore`.  The load
+generator (:mod:`repro.system.loadgen`) drives N concurrent clients over
+independently seeded fault channels for the `bench_fleet` throughput
+table and the fleet acceptance tests.
 """
 
 from repro.system.channel import BandwidthShaper
 from repro.system.client import OVERFLOW_POLICIES, DbgcClient
 from repro.system.faults import FaultPlan, FaultSpec, FaultyChannel
+from repro.system.loadgen import FleetResult, FleetSpec, run_fleet
 from repro.system.metrics import FrameTrace, PipelineReport, TransportEvent
-from repro.system.server import DbgcServer, QuarantinedFrame
-from repro.system.storage import FileFrameStore, SqliteFrameStore
+from repro.system.server import DbgcServer, QuarantinedFrame, StreamState
+from repro.system.storage import FileFrameStore, ShardedFrameStore, SqliteFrameStore
 
 __all__ = [
     "BandwidthShaper",
@@ -33,10 +42,15 @@ __all__ = [
     "FaultSpec",
     "FaultyChannel",
     "FileFrameStore",
+    "FleetResult",
+    "FleetSpec",
     "FrameTrace",
     "OVERFLOW_POLICIES",
     "PipelineReport",
     "QuarantinedFrame",
+    "ShardedFrameStore",
     "SqliteFrameStore",
+    "StreamState",
     "TransportEvent",
+    "run_fleet",
 ]

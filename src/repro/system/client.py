@@ -38,10 +38,12 @@ from repro.system.faults import FaultPlan, FaultyChannel
 from repro.system.metrics import FrameTrace, PipelineReport
 from repro.system.protocol import (
     ACK_QUARANTINED,
+    END_ACK_INDEX,
     PAYLOAD_OFFSET,
     TYPE_ACK,
     TYPE_END,
     TYPE_FRAME,
+    TYPE_HELLO,
     FLAG_DEGRADED,
     encode_record,
     read_record,
@@ -150,6 +152,11 @@ class DbgcClient:
         Attempts for the *initial* connect (defaults to ``max_retries``).
         ``__init__`` either returns a fully working client or raises with
         every socket closed — never a half-built object.
+    stream_id:
+        This client's stream identity, announced in a HELLO record on
+        every connection (initial and reconnects).  The server keys all
+        per-stream state — dedupe, ACK ordinals, receipts — by it, so
+        give each client of a fleet its own id.
     """
 
     def __init__(
@@ -168,12 +175,15 @@ class DbgcClient:
         backoff_cap: float = 2.0,
         retry_seed: int = 0,
         connect_retries: int | None = None,
+        stream_id: int = 0,
     ) -> None:
         if overflow_policy not in OVERFLOW_POLICIES:
             raise ValueError(
                 f"unknown overflow policy {overflow_policy!r}; "
                 f"choose from {OVERFLOW_POLICIES}"
             )
+        if not 0 <= stream_id <= 0xFFFFFFFF:
+            raise ValueError(f"stream id {stream_id} out of u32 range")
         # Build every resource-free attribute first: if the connect below
         # fails, __init__ raises without leaking a socket or a thread.
         self.address = address
@@ -188,6 +198,7 @@ class DbgcClient:
         self.connect_timeout = float(connect_timeout)
         self.backoff_base = float(backoff_base)
         self.backoff_cap = float(backoff_cap)
+        self.stream_id = int(stream_id)
         self.report = PipelineReport()
         self.transport_error: BaseException | None = None
         self._rng = Random(retry_seed)
@@ -199,6 +210,14 @@ class DbgcClient:
         self._sender: threading.Thread | None = None
         retries = self.max_retries if connect_retries is None else int(connect_retries)
         self._sock = self._connect(retries, first_immediate=True)
+        try:
+            self._hello()
+        except OSError as exc:
+            self._sock.close()
+            self._sock = None
+            raise ConnectionError(
+                f"could not announce stream {self.stream_id} to {address}"
+            ) from exc
         self._sender = threading.Thread(target=self._sender_loop, daemon=True)
         self._sender.start()
 
@@ -427,27 +446,40 @@ class DbgcClient:
             f"could not connect to {self.address} after {retries + 1} attempts"
         ) from last
 
+    def _hello(self) -> None:
+        """Announce this client's stream id on the current connection."""
+        assert self._sock is not None
+        self._sock.sendall(encode_record(TYPE_HELLO, self.stream_id))
+
     def _reconnect(self) -> None:
         if self._sock is not None:
             self._sock.close()
         self._sock = self._connect(self.max_retries)
+        try:
+            self._hello()
+        except OSError as exc:
+            raise ConnectionError(
+                f"could not re-announce stream {self.stream_id}"
+            ) from exc
         with self._lock:
             self.report.record("reconnect", -1)
 
     def _send_end(self) -> None:
-        # END is best-effort (every frame was individually ACKed), but try
-        # once over a fresh connection so a link that died on the last
-        # frame still lets the server terminate cleanly.
-        for attempt in range(2):
+        # END is addressed at END_ACK_INDEX, so only the server's END
+        # acknowledgement — never a stale frame ACK — completes the
+        # handshake.  A lost END ack is retried over a fresh connection
+        # (the server marks the stream ended idempotently).
+        for attempt in range(3):
             try:
                 assert self._sock is not None
-                self._sock.sendall(encode_record(TYPE_END, 0))
+                self._sock.sendall(encode_record(TYPE_END, END_ACK_INDEX))
                 self._sock.settimeout(min(2.0, self.ack_timeout))
-                while read_record(self._sock).type != TYPE_ACK:
-                    pass
-                return
+                while True:
+                    record = read_record(self._sock)
+                    if record.type == TYPE_ACK and record.frame_index == END_ACK_INDEX:
+                        return
             except (OSError, ConnectionError, TimeoutError):
-                if attempt == 0:
+                if attempt < 2:
                     try:
                         self._reconnect()
                     except (OSError, ConnectionError):

@@ -32,6 +32,9 @@ from repro.system.channel import BandwidthShaper
 
 __all__ = ["FaultSpec", "FaultPlan", "FaultyChannel"]
 
+#: Sentinel distinguishing "not given" from an explicit ``shaper=None``.
+_UNSET = object()
+
 
 @dataclass(frozen=True)
 class FaultSpec:
@@ -53,6 +56,10 @@ class FaultSpec:
     jitter: float = 0.0
     #: Frame indices whose *first* transmission always dies mid-record.
     force_disconnect_frames: frozenset[int] = frozenset()
+    #: ACK indices whose *first* acknowledgement is always lost (use
+    #: :data:`~repro.system.protocol.END_ACK_INDEX` to force an END
+    #: retransmission deterministically).
+    force_ack_drop_first: frozenset[int] = frozenset()
 
     def __post_init__(self) -> None:
         for name in ("corrupt_rate", "truncate_rate", "disconnect_rate", "ack_drop_rate"):
@@ -64,6 +71,9 @@ class FaultSpec:
         # Accept any iterable of ints for convenience.
         object.__setattr__(
             self, "force_disconnect_frames", frozenset(self.force_disconnect_frames)
+        )
+        object.__setattr__(
+            self, "force_ack_drop_first", frozenset(self.force_ack_drop_first)
         )
 
 
@@ -166,6 +176,9 @@ class FaultyChannel:
 
     def drop_ack(self, frame_index: int, ack_ordinal: int) -> bool:
         """Should the server's ``ack_ordinal``-th ACK for this frame be lost?"""
+        if frame_index in self.spec.force_ack_drop_first and ack_ordinal == 0:
+            self.log.append(("ack-drop", frame_index, ack_ordinal))
+            return True
         if self.spec.ack_drop_rate <= 0.0:
             return False
         rng = self._rng("ack", frame_index, ack_ordinal)
@@ -173,6 +186,32 @@ class FaultyChannel:
         if dropped:
             self.log.append(("ack-drop", frame_index, ack_ordinal))
         return dropped
+
+    # -- fleet derivation ----------------------------------------------
+
+    def for_stream(
+        self,
+        stream_id: int,
+        spec: FaultSpec | None = None,
+        shaper: BandwidthShaper | None | object = _UNSET,
+    ) -> "FaultyChannel":
+        """A channel whose faults are independently derived for one stream.
+
+        Every client in a fleet gets its own channel so fault decisions
+        stay pure in ``(root seed, stream_id, frame, attempt)`` no matter
+        how the clients' threads interleave.  ``spec`` overrides the fault
+        spec (e.g. per-client forced disconnects); ``shaper`` overrides
+        the link model — pass a fresh shaper per client when pacing, the
+        default shares this channel's.
+        """
+        digest = hashlib.blake2b(
+            repr((self.seed, "stream", stream_id)).encode(), digest_size=8
+        ).digest()
+        return FaultyChannel(
+            self.shaper if shaper is _UNSET else shaper,
+            seed=int.from_bytes(digest, "little"),
+            spec=self.spec if spec is None else spec,
+        )
 
     # -- BandwidthShaper delegation -----------------------------------
 

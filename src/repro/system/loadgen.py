@@ -1,0 +1,239 @@
+"""Fleet load generation: N concurrent clients over seeded fault channels.
+
+Drives the multi-client ingest tier for the `bench_fleet` throughput
+table, the fault-injection acceptance tests, and ``dbgc fleet``.  Every
+client of the fleet gets
+
+- its own **stream id** (= client id), so server-side dedupe, ACK
+  ordinals, and receipts are scoped per client;
+- a disjoint global frame-index range — client *k* owns
+  ``[k * index_stride, k * index_stride + frames_per_client)`` — so the
+  shared (sharded) store never sees two writers on one index;
+- an independent, deterministically derived
+  :class:`~repro.system.faults.FaultyChannel`
+  (:meth:`~repro.system.faults.FaultyChannel.for_stream` of the root
+  seed), so a concurrent run and a serial replay of the same spec plan
+  identical faults per client regardless of thread interleaving.
+
+Payloads are seeded random bytes: the ingest tier's cost is framing,
+CRCs, ACK round-trips, store writes, and fault recovery — compression
+itself is benchmarked elsewhere.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.system.channel import BandwidthShaper
+from repro.system.faults import FaultSpec, FaultyChannel
+from repro.system.client import DbgcClient
+from repro.system.metrics import PipelineReport
+from repro.system.server import DbgcServer
+
+__all__ = ["FleetSpec", "FleetResult", "client_payloads", "payload_contents", "run_fleet"]
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One fleet run: client count, per-client load, faults, link shape."""
+
+    n_clients: int = 4
+    frames_per_client: int = 25
+    #: Root of payload generation and every client's fault derivation.
+    seed: int = 0
+    #: Base fault probabilities applied to every client.
+    fault_spec: FaultSpec = field(default_factory=FaultSpec)
+    #: *Local* frame numbers whose first transmission is forced to die
+    #: mid-record, applied to every client (translated to each client's
+    #: global index range).
+    force_disconnect_local: frozenset[int] = frozenset()
+    #: Client k owns global indices [k * stride, k * stride + frames).
+    index_stride: int = 1_000_000
+    #: Inclusive payload-size range in bytes.
+    payload_bytes: tuple[int, int] = (180, 300)
+    #: Per-client uplink bandwidth (each client gets its own shaper), or
+    #: None for an unshaped loopback link.
+    bandwidth_mbps: float | None = None
+    # Client transport knobs (see DbgcClient).
+    ack_timeout: float = 2.0
+    backoff_base: float = 0.01
+    max_retries: int = 5
+    queue_capacity: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 1:
+            raise ValueError(f"need at least one client, got {self.n_clients}")
+        if self.frames_per_client > self.index_stride:
+            raise ValueError(
+                f"frames_per_client {self.frames_per_client} overflows the "
+                f"index stride {self.index_stride}"
+            )
+        object.__setattr__(
+            self, "force_disconnect_local", frozenset(self.force_disconnect_local)
+        )
+
+    def global_index(self, client_id: int, local_index: int) -> int:
+        """The fleet-wide frame index of one client's local frame number."""
+        return client_id * self.index_stride + local_index
+
+    def client_indices(self, client_id: int) -> list[int]:
+        """All global indices client ``client_id`` will send, in order."""
+        return [
+            self.global_index(client_id, i) for i in range(self.frames_per_client)
+        ]
+
+    def client_fault_spec(self, client_id: int) -> FaultSpec:
+        """The base spec with forced disconnects mapped into the client's range."""
+        if not self.force_disconnect_local:
+            return self.fault_spec
+        forced = frozenset(
+            self.global_index(client_id, i) for i in self.force_disconnect_local
+        )
+        return replace(self.fault_spec, force_disconnect_frames=forced)
+
+
+def client_payloads(spec: FleetSpec, client_id: int) -> dict[int, bytes]:
+    """One client's seeded payloads, keyed by global frame index.
+
+    Pure in ``(spec.seed, client_id)`` — integers only, so the derivation
+    is stable across processes (no string hashing involved).
+    """
+    rng = random.Random(spec.seed * 1_000_003 + client_id)
+    lo, hi = spec.payload_bytes
+    return {
+        index: rng.randbytes(rng.randint(lo, hi))
+        for index in spec.client_indices(client_id)
+    }
+
+
+def payload_contents(store) -> dict[int, bytes]:
+    """Every stored payload keyed by index (byte-identity comparisons)."""
+    return {index: store.get_payload(index) for index in store.frame_indices()}
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one fleet run (the server object stays inspectable)."""
+
+    spec: FleetSpec
+    reports: dict[int, PipelineReport]
+    payloads: dict[int, dict[int, bytes]]
+    server: DbgcServer
+    wall_s: float
+
+    @property
+    def merged(self) -> PipelineReport:
+        """All clients' traces/events as one report (disjoint index ranges)."""
+        return PipelineReport.merged(
+            self.reports[cid] for cid in sorted(self.reports)
+        )
+
+    @property
+    def n_stored(self) -> int:
+        return sum(r.n_stored for r in self.reports.values())
+
+    @property
+    def n_quarantined(self) -> int:
+        return sum(r.n_quarantined for r in self.reports.values())
+
+    @property
+    def n_dropped(self) -> int:
+        return sum(r.n_dropped for r in self.reports.values())
+
+    @property
+    def frames_per_second(self) -> float:
+        """Aggregate ingest throughput: frames stored / fleet wall time."""
+        return self.n_stored / self.wall_s if self.wall_s > 0 else 0.0
+
+    def accounting_keys(self) -> dict[int, tuple]:
+        """Per-client deterministic fault-handling fingerprints."""
+        return {cid: report.accounting_key() for cid, report in self.reports.items()}
+
+
+def run_fleet(
+    spec: FleetSpec,
+    store,
+    mode: str = "store",
+    max_clients: int | None = None,
+    concurrent: bool = True,
+) -> FleetResult:
+    """Drive ``spec.n_clients`` clients against one server over ``store``.
+
+    ``concurrent=False`` replays the exact same per-client work one
+    client at a time — the serial oracle: because faults, payloads, and
+    stream scoping are all keyed per client, the resulting store contents
+    and per-client accounting must match the concurrent run byte for
+    byte.
+    """
+    payloads = {
+        cid: client_payloads(spec, cid) for cid in range(spec.n_clients)
+    }
+    root = FaultyChannel(None, seed=spec.seed, spec=spec.fault_spec)
+    channels = {
+        cid: root.for_stream(
+            cid,
+            spec=spec.client_fault_spec(cid),
+            shaper=(
+                BandwidthShaper(spec.bandwidth_mbps)
+                if spec.bandwidth_mbps is not None
+                else None
+            ),
+        )
+        for cid in range(spec.n_clients)
+    }
+    reports: dict[int, PipelineReport] = {}
+    errors: list[BaseException] = []
+    errors_lock = threading.Lock()
+
+    server = DbgcServer(
+        store,
+        mode=mode,
+        channel=channels,
+        max_clients=max_clients if max_clients is not None else spec.n_clients,
+    ).start()
+
+    def drive(cid: int) -> None:
+        try:
+            with DbgcClient(
+                server.address,
+                stream_id=cid,
+                channel=channels[cid],
+                ack_timeout=spec.ack_timeout,
+                backoff_base=spec.backoff_base,
+                max_retries=spec.max_retries,
+                queue_capacity=spec.queue_capacity,
+                retry_seed=cid,
+            ) as client:
+                for index, payload in payloads[cid].items():
+                    client.send_payload(index, payload)
+            reports[cid] = client.report
+        except BaseException as exc:
+            with errors_lock:
+                errors.append(exc)
+
+    started = time.perf_counter()
+    try:
+        if concurrent:
+            threads = [
+                threading.Thread(target=drive, args=(cid,), daemon=True)
+                for cid in range(spec.n_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        else:
+            for cid in range(spec.n_clients):
+                drive(cid)
+        if errors:
+            raise errors[0]
+        server.wait_for_streams(spec.n_clients, timeout=120.0)
+        wall = time.perf_counter() - started
+    finally:
+        server.close()
+    return FleetResult(
+        spec=spec, reports=reports, payloads=payloads, server=server, wall_s=wall
+    )

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.observability import recorder as _obs
 
@@ -93,6 +94,22 @@ class PipelineReport:
         """Log one transport event (retry, drop, quarantine, degrade...)."""
         self.events.append(TransportEvent(kind, frame_index, attempt, detail))
         _obs.count("transport." + kind)
+
+    @classmethod
+    def merged(cls, reports: "Iterable[PipelineReport]") -> "PipelineReport":
+        """One aggregate report over a fleet of clients' reports.
+
+        Traces and events are aliased, not copied, and no observability
+        counters are re-emitted; the per-client reports stay authoritative
+        for per-stream accounting (``accounting_key()`` of the merge is
+        only meaningful when the clients' frame-index ranges are
+        disjoint, as the load generator guarantees).
+        """
+        merged = cls()
+        for report in reports:
+            merged.traces.extend(report.traces)
+            merged.events.extend(report.events)
+        return merged
 
     @property
     def n_frames(self) -> int:

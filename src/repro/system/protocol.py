@@ -7,10 +7,10 @@ with it, and a single flipped bit anywhere silently corrupted the stored
 stream.  v2 records are self-describing and checksummed::
 
     magic         b"DBG2"                                  (4 bytes)
-    type          u8    1 = FRAME, 2 = END, 3 = ACK
+    type          u8    1 = FRAME, 2 = END, 3 = ACK, 4 = HELLO
     flags         u8    FRAME: bit 0 = degraded payload
                         ACK:   0 = stored, 1 = quarantined, 2 = duplicate
-    frame_index   u32
+    frame_index   u32   HELLO: the stream id; END/END-ACK: END_ACK_INDEX
     payload_len   u32
     header_crc32  u32   CRC-32 over the 14 bytes above
     payload       payload_len bytes                        (FRAME only)
@@ -21,6 +21,24 @@ lets a receiver detect a corrupted header and *resynchronize* by scanning
 for the next magic instead of mis-framing the rest of the stream; the
 payload CRC turns silent corruption into a :class:`CorruptPayloadError`
 that carries the damaged bytes for quarantine.
+
+Stream scoping (multi-client ingest).  A client opens every connection —
+the first one and each reconnect — with a ``HELLO`` record whose
+``frame_index`` field carries its **stream id**.  The server keys all
+per-stream state (dedupe sets, ACK ordinals, receipts) by that id, so a
+reconnecting client resumes its own stream and two clients sending the
+same frame index never collide in each other's dedupe state.  A
+connection that sends frames without a HELLO gets an implicit
+connection-scoped stream (v2.0 compatibility), losing only
+dedupe-across-reconnect.
+
+END/ACK addressing.  ``END`` records and their acknowledgement both carry
+:data:`END_ACK_INDEX` in ``frame_index``, giving the end-of-stream
+handshake a well-defined address: the client waits for an ACK with that
+exact index (a stale frame ACK cannot complete the handshake) and
+retransmits END if the ACK is lost.  Frame indices are still free to use
+the full u32 range — only the END *handshake* reserves the sentinel, and
+a FRAME record with index ``0xFFFFFFFF`` round-trips unchanged.
 """
 
 from __future__ import annotations
@@ -35,9 +53,11 @@ __all__ = [
     "TYPE_FRAME",
     "TYPE_END",
     "TYPE_ACK",
+    "TYPE_HELLO",
     "ACK_STORED",
     "ACK_QUARANTINED",
     "ACK_DUPLICATE",
+    "END_ACK_INDEX",
     "FLAG_DEGRADED",
     "Record",
     "ProtocolError",
@@ -52,7 +72,13 @@ MAGIC = b"DBG2"
 TYPE_FRAME = 1
 TYPE_END = 2
 TYPE_ACK = 3
-_KNOWN_TYPES = frozenset((TYPE_FRAME, TYPE_END, TYPE_ACK))
+TYPE_HELLO = 4
+_KNOWN_TYPES = frozenset((TYPE_FRAME, TYPE_END, TYPE_ACK, TYPE_HELLO))
+
+#: The frame_index carried by END records and their acknowledgement.  The
+#: END handshake is addressed by this sentinel so a stale frame ACK can
+#: never complete it; FRAME records may still use the index themselves.
+END_ACK_INDEX = 0xFFFFFFFF
 
 #: ACK status codes (carried in ``flags``).
 ACK_STORED = 0

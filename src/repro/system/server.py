@@ -6,14 +6,23 @@ sequence and stores the cloud, or bypasses decompression and stores the
 payload directly (both modes appear in the paper's Figure 2).
 
 Unlike the v1 prototype (one connection, thread dies on the first bad
-byte), this server is built for a lossy uplink:
+byte), this server is built for a lossy uplink *and* a fleet of sensors:
 
-- the accept loop survives client disconnects and reconnects;
+- the accept loop hands every connection to its own handler thread
+  (bounded by ``max_clients``), so N clients stream concurrently and a
+  disconnect or reconnect of one never stalls the others;
+- per-stream state — the dedupe set, ACK ordinals, receipts — is keyed
+  by the stream id each connection announces in its HELLO record, so a
+  reconnecting client resumes *its* stream and two clients can never
+  poison each other's dedupe or ACK accounting;
 - a corrupt or undecodable payload is *quarantined* — recorded with its
   bytes and exception — and serving continues;
-- retransmitted frames are deduplicated by frame index, making client
+- retransmitted frames are deduplicated per stream, making client
   retries idempotent;
-- every frame is acknowledged, so the client can detect loss.
+- every frame is acknowledged, so the client can detect loss;
+- an END record closes *that client's session* (acknowledged at
+  :data:`~repro.system.protocol.END_ACK_INDEX`); the accept loop keeps
+  running until the driver calls :meth:`DbgcServer.close`.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ import socket
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.core.pipeline import DBGCDecompressor
 from repro.observability import recorder as _obs
@@ -30,18 +40,20 @@ from repro.system.protocol import (
     ACK_DUPLICATE,
     ACK_QUARANTINED,
     ACK_STORED,
+    END_ACK_INDEX,
     TYPE_ACK,
     TYPE_END,
     TYPE_FRAME,
+    TYPE_HELLO,
     CorruptPayloadError,
     ProtocolError,
     encode_record,
     read_record,
     recv_exact,
 )
-from repro.system.storage import FileFrameStore, SqliteFrameStore
+from repro.system.storage import FileFrameStore, ShardedFrameStore, SqliteFrameStore
 
-__all__ = ["DbgcServer", "QuarantinedFrame", "recv_exact"]
+__all__ = ["DbgcServer", "QuarantinedFrame", "StreamState", "recv_exact"]
 
 
 @dataclass(frozen=True)
@@ -52,54 +64,93 @@ class QuarantinedFrame:
     payload: bytes = field(repr=False)
     error: str
     received_at: float
+    #: Stream the payload arrived on (int id from HELLO, or the implicit
+    #: ``"conn-N"`` key of a connection that never sent one).
+    stream_id: int | str = 0
 
     def __str__(self) -> str:
-        return f"frame {self.frame_index}: {self.error} ({len(self.payload)} bytes kept)"
+        return (
+            f"frame {self.frame_index} (stream {self.stream_id}): "
+            f"{self.error} ({len(self.payload)} bytes kept)"
+        )
+
+
+class StreamState:
+    """Per-stream ingest state, shared by all of that stream's connections.
+
+    Mutated only under the owning server's :attr:`DbgcServer.lock`.
+    """
+
+    __slots__ = ("stream_id", "seen", "ack_counts", "receipts", "ended")
+
+    def __init__(self, stream_id: int | str) -> None:
+        self.stream_id = stream_id
+        #: Frame indices stored (or reserved mid-store) — the dedupe set.
+        self.seen: set[int] = set()
+        #: ACKs issued per index; feeds the fault channel's drop plan.
+        self.ack_counts: dict[int, int] = {}
+        #: This stream's slice of the server-wide receipts.
+        self.receipts: list[tuple[int, int, float, float]] = []
+        #: True once the stream's END record arrived.
+        self.ended = False
 
 
 class DbgcServer:
-    """A fault-tolerant frame sink running on a background thread.
+    """A fault-tolerant multi-client frame sink on background threads.
 
     Parameters
     ----------
     store:
-        Frame store to persist into.
+        Frame store to persist into (file, SQLite, or sharded).
     mode:
         ``"decompress"`` — decompress and store clouds;
         ``"store"`` — store compressed payloads directly.
     host, port:
         Listen address; port 0 picks a free port (see :attr:`address`).
     channel:
-        Optional :class:`~repro.system.faults.FaultyChannel`; when given,
-        its ``drop_ack`` plan is consulted before each acknowledgement so
-        ACK loss (and the client's retransmit + server dedupe path) can
-        be exercised deterministically.
+        Optional :class:`~repro.system.faults.FaultyChannel` — or a
+        mapping of stream id to channel for per-client fault injection;
+        the matching ``drop_ack`` plan is consulted before each
+        acknowledgement so ACK loss (and the client's retransmit + server
+        dedupe path) can be exercised deterministically.
+    max_clients:
+        Handler-thread cap.  When every slot is busy, new connections
+        wait in the TCP backlog until one frees up (backpressure, not
+        refusal).
 
-    Thread-safety: the serve thread appends to :attr:`receipts`,
-    :attr:`quarantine`, and :attr:`events` while the driver may read them;
-    all access goes through :attr:`lock`.  Use :meth:`snapshot` for a
-    consistent copy, or read after :meth:`join` returns.
+    Thread-safety: handler threads append to :attr:`receipts`,
+    :attr:`quarantine`, and :attr:`events` while the driver may read
+    them; all access goes through :attr:`lock`.  Use :meth:`snapshot` for
+    a consistent copy, or read after :meth:`join` returns.
     """
 
     def __init__(
         self,
-        store: FileFrameStore | SqliteFrameStore,
+        store: FileFrameStore | SqliteFrameStore | ShardedFrameStore,
         mode: str = "decompress",
         host: str = "127.0.0.1",
         port: int = 0,
-        channel: FaultyChannel | None = None,
+        channel: FaultyChannel | Mapping[int, FaultyChannel] | None = None,
+        max_clients: int = 8,
     ) -> None:
         if mode not in ("decompress", "store"):
             raise ValueError(f"unknown server mode {mode!r}")
+        if max_clients < 1:
+            raise ValueError(f"max_clients must be >= 1, got {max_clients}")
         self.store = store
         self.mode = mode
         self.channel = channel
+        self.max_clients = int(max_clients)
         self._decompressor = DBGCDecompressor()
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         try:
             self._listener.bind((host, port))
-            self._listener.listen(8)
+            self._listener.listen(32)
+            # Accept with a short timeout: on Linux, close()ing a listener
+            # does not unblock a thread already parked in accept(), so the
+            # loop must poll the stop flag to shut down promptly.
+            self._listener.settimeout(0.1)
             self._address: tuple[str, int] = self._listener.getsockname()
         except BaseException:
             self._listener.close()
@@ -107,17 +158,23 @@ class DbgcServer:
         self._thread: threading.Thread | None = None
         self._error: BaseException | None = None
         self._stop = threading.Event()
-        self._conn: socket.socket | None = None
-        self._seen: set[int] = set()
-        self._ack_counts: dict[int, int] = {}
-        #: Guards receipts / quarantine / events against the serve thread.
+        #: Handler-slot semaphore implementing the ``max_clients`` cap.
+        self._slots = threading.Semaphore(self.max_clients)
+        #: Guards all shared state below (streams, receipts, quarantine,
+        #: events, connection counters) against the handler threads.
         self.lock = threading.Lock()
+        self._cond = threading.Condition(self.lock)
+        self._streams: dict[int | str, StreamState] = {}
+        self._conns: set[socket.socket] = set()
+        self._active = 0
+        self._peak_active = 0
+        self._ends_seen = 0
         #: (frame_index, payload_bytes, received_at, stored_at) per stored frame.
         self.receipts: list[tuple[int, int, float, float]] = []
         #: Payloads rejected with their exception text and bytes.
         self.quarantine: list[QuarantinedFrame] = []
-        #: Connection-level happenings: ("accept"|"disconnect"|"duplicate"|
-        #: "resync"|"end", detail) in serve order.
+        #: Connection-level happenings: ("accept"|"hello"|"disconnect"|
+        #: "duplicate"|"resync"|"end", detail) in serve order.
         self.events: list[tuple[str, str]] = []
         #: Connections accepted over the server's lifetime.
         self.connections = 0
@@ -125,6 +182,24 @@ class DbgcServer:
     @property
     def address(self) -> tuple[str, int]:
         return self._address
+
+    @property
+    def active_clients(self) -> int:
+        """Connections currently being served."""
+        with self.lock:
+            return self._active
+
+    @property
+    def peak_active_clients(self) -> int:
+        """Most connections ever served at once (≤ ``max_clients``)."""
+        with self.lock:
+            return self._peak_active
+
+    @property
+    def streams_ended(self) -> int:
+        """Streams whose END record has arrived."""
+        with self.lock:
+            return self._ends_seen
 
     def start(self) -> "DbgcServer":
         """Begin accepting client connections in the background."""
@@ -139,7 +214,7 @@ class DbgcServer:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    # -- serve loop ----------------------------------------------------
+    # -- accept loop ---------------------------------------------------
 
     def _note(self, kind: str, detail: str = "") -> None:
         with self.lock:
@@ -148,57 +223,137 @@ class DbgcServer:
     def _serve(self) -> None:
         try:
             while not self._stop.is_set():
+                # The slot is taken *before* accept so a full handler pool
+                # leaves new clients queued in the TCP backlog.
+                if not self._slots.acquire(timeout=0.1):
+                    continue
                 try:
                     conn, peer = self._listener.accept()
+                except socket.timeout:
+                    self._slots.release()
+                    continue  # re-check the stop flag
                 except OSError:
+                    self._slots.release()
                     break  # listener closed by close()
-                self._conn = conn
-                self.connections += 1
-                self._note("accept", f"connection {self.connections} from {peer[1]}")
-                try:
-                    if self._handle_connection(conn):
-                        break  # END record: stream complete
-                finally:
-                    self._conn = None
-                    conn.close()
+                with self.lock:
+                    self.connections += 1
+                    self._active += 1
+                    self._peak_active = max(self._peak_active, self._active)
+                    self._conns.add(conn)
+                    number = self.connections
+                _obs.count("server.clients.total")
+                _obs.count("server.clients.active")
+                self._note("accept", f"connection {number} from {peer[1]}")
+                threading.Thread(
+                    target=self._client_thread, args=(conn, number), daemon=True
+                ).start()
         except BaseException as exc:  # pragma: no cover - surfaced via join()
-            self._error = exc
+            with self._cond:
+                self._error = exc
+                self._cond.notify_all()
         finally:
             self._listener.close()
 
-    def _handle_connection(self, conn: socket.socket) -> bool:
-        """Serve one connection; True when the stream ended cleanly."""
+    def _client_thread(self, conn: socket.socket, number: int) -> None:
+        try:
+            self._handle_connection(conn, number)
+        except BaseException as exc:  # pragma: no cover - surfaced via join()
+            with self._cond:
+                if self._error is None:
+                    self._error = exc
+        finally:
+            conn.close()
+            with self._cond:
+                self._conns.discard(conn)
+                self._active -= 1
+                self._cond.notify_all()
+            _obs.count("server.clients.active", -1)
+            self._slots.release()
+
+    # -- per-connection serving ----------------------------------------
+
+    def _stream(self, stream_id: int | str) -> StreamState:
+        with self.lock:
+            state = self._streams.get(stream_id)
+            if state is None:
+                state = self._streams[stream_id] = StreamState(stream_id)
+        return state
+
+    def stream_state(self, stream_id: int | str) -> StreamState | None:
+        """The named stream's state, or ``None`` if it never connected."""
+        with self.lock:
+            return self._streams.get(stream_id)
+
+    def receipts_for(self, stream_id: int | str) -> list[tuple[int, int, float, float]]:
+        """One stream's receipts (feed to that client's ``merge_receipts``)."""
+        with self.lock:
+            state = self._streams.get(stream_id)
+            return list(state.receipts) if state is not None else []
+
+    def _handle_connection(self, conn: socket.socket, number: int) -> None:
+        """Serve one connection until its stream ends or the link drops."""
+        stream: StreamState | None = None
         while not self._stop.is_set():
             try:
                 record = read_record(conn)
             except CorruptPayloadError as exc:
                 received_at = time.perf_counter()
-                self._quarantine(exc.frame_index, exc.payload, exc, received_at)
-                self._ack(conn, exc.frame_index, ACK_QUARANTINED)
+                if stream is None:
+                    stream = self._stream(f"conn-{number}")
+                self._quarantine(stream, exc.frame_index, exc.payload, exc, received_at)
+                self._ack(conn, stream, exc.frame_index, ACK_QUARANTINED)
                 continue
             except (ConnectionError, TimeoutError, ProtocolError, OSError) as exc:
                 self._note("disconnect", repr(exc))
-                return False
+                return
             if record.resync_skipped:
                 self._note("resync", f"skipped {record.resync_skipped} garbage bytes")
+            if record.type == TYPE_HELLO:
+                stream = self._stream(record.frame_index)
+                self._note(
+                    "hello", f"stream {record.frame_index} on connection {number}"
+                )
+                continue
+            if stream is None:
+                # v2.0 compatibility: frames without a HELLO get a stream
+                # scoped to this connection (no dedupe across reconnects).
+                stream = self._stream(f"conn-{number}")
             if record.type == TYPE_END:
-                self._note("end", "")
-                self._ack(conn, record.frame_index, ACK_STORED)
-                return True
+                first_end = False
+                with self._cond:
+                    if not stream.ended:
+                        stream.ended = True
+                        self._ends_seen += 1
+                        first_end = True
+                    self._cond.notify_all()
+                self._note("end", f"stream {stream.stream_id}")
+                if first_end:
+                    _obs.count("server.streams.ended")
+                self._ack(conn, stream, END_ACK_INDEX, ACK_STORED)
+                return
             if record.type == TYPE_FRAME:
-                self._ingest(conn, record.frame_index, record.payload)
+                self._ingest(conn, stream, record.frame_index, record.payload)
             # Anything else (stray ACK echoes) is ignored.
-        return True
 
-    def _ingest(self, conn: socket.socket, frame_index: int, payload: bytes) -> None:
+    def _ingest(
+        self, conn: socket.socket, stream: StreamState, frame_index: int, payload: bytes
+    ) -> None:
         received_at = time.perf_counter()
         _obs.count("server.ingress")
         _obs.add_bytes("server.ingress", len(payload))
-        if frame_index in self._seen:
+        with self.lock:
+            if frame_index in stream.seen:
+                duplicate = True
+            else:
+                # Reserve the index before the store write so a concurrent
+                # retransmission on another connection dedupes against it.
+                stream.seen.add(frame_index)
+                duplicate = False
+        if duplicate:
             # Retransmission of a frame that already made it: idempotent.
             self._note("duplicate", f"frame {frame_index}")
             _obs.count("server.duplicates")
-            self._ack(conn, frame_index, ACK_DUPLICATE)
+            self._ack(conn, stream, frame_index, ACK_DUPLICATE)
             return
         try:
             if self.mode == "decompress":
@@ -208,31 +363,49 @@ class DbgcServer:
                 self.store.put_payload(frame_index, payload)
         except Exception as exc:
             # Undecodable despite an intact CRC: quarantine, keep serving.
-            self._quarantine(frame_index, payload, exc, received_at)
-            self._ack(conn, frame_index, ACK_QUARANTINED)
+            with self.lock:
+                stream.seen.discard(frame_index)
+            self._quarantine(stream, frame_index, payload, exc, received_at)
+            self._ack(conn, stream, frame_index, ACK_QUARANTINED)
             return
-        self._seen.add(frame_index)
+        receipt = (frame_index, len(payload), received_at, time.perf_counter())
         with self.lock:
-            self.receipts.append(
-                (frame_index, len(payload), received_at, time.perf_counter())
-            )
+            stream.receipts.append(receipt)
+            self.receipts.append(receipt)
         _obs.count("server.stored")
-        self._ack(conn, frame_index, ACK_STORED)
+        self._ack(conn, stream, frame_index, ACK_STORED)
 
     def _quarantine(
-        self, frame_index: int, payload: bytes, exc: BaseException, received_at: float
+        self,
+        stream: StreamState,
+        frame_index: int,
+        payload: bytes,
+        exc: BaseException,
+        received_at: float,
     ) -> None:
         with self.lock:
             self.quarantine.append(
-                QuarantinedFrame(frame_index, payload, repr(exc), received_at)
+                QuarantinedFrame(
+                    frame_index, payload, repr(exc), received_at, stream.stream_id
+                )
             )
         _obs.count("server.quarantined")
 
-    def _ack(self, conn: socket.socket, frame_index: int, status: int) -> None:
-        if self.channel is not None:
-            ordinal = self._ack_counts.get(frame_index, 0)
-            self._ack_counts[frame_index] = ordinal + 1
-            if self.channel.drop_ack(frame_index, ordinal):
+    def _channel_for(self, stream_id: int | str) -> FaultyChannel | None:
+        channel = self.channel
+        if channel is None or isinstance(channel, FaultyChannel):
+            return channel
+        return channel.get(stream_id)
+
+    def _ack(
+        self, conn: socket.socket, stream: StreamState, frame_index: int, status: int
+    ) -> None:
+        channel = self._channel_for(stream.stream_id)
+        if channel is not None:
+            with self.lock:
+                ordinal = stream.ack_counts.get(frame_index, 0)
+                stream.ack_counts[frame_index] = ordinal + 1
+            if channel.drop_ack(frame_index, ordinal):
                 return  # injected ACK loss; the client will retransmit
         try:
             conn.sendall(encode_record(TYPE_ACK, frame_index, flags=status))
@@ -246,21 +419,38 @@ class DbgcServer:
         with self.lock:
             return list(self.receipts), list(self.quarantine), list(self.events)
 
+    def wait_for_streams(self, n_streams: int, timeout: float = 30.0) -> None:
+        """Block until ``n_streams`` streams have ENDed and no client is active.
+
+        Raises any fatal server error, or :class:`TimeoutError` if the
+        condition is not reached in time.  The accept loop keeps running —
+        shutdown stays explicit via :meth:`close`.
+        """
+        with self._cond:
+            done = self._cond.wait_for(
+                lambda: self._error is not None
+                or (self._ends_seen >= n_streams and self._active == 0),
+                timeout,
+            )
+            error = self._error
+        if error is not None:
+            raise error
+        if not done:
+            raise TimeoutError(
+                f"{n_streams} stream(s) did not end within {timeout:.0f}s"
+            )
+
     def join(self, timeout: float = 30.0) -> None:
-        """Wait for the stream to end; re-raise any fatal server error."""
-        if self._thread is not None:
-            self._thread.join(timeout)
-            if self._thread.is_alive():
-                raise TimeoutError("server did not finish in time")
-        if self._error is not None:
-            raise self._error
+        """Wait until at least one stream ended and the server is idle."""
+        self.wait_for_streams(1, timeout)
 
     def close(self) -> None:
-        """Stop serving: unblock the accept/recv loops and join the thread."""
+        """Stop serving: unblock the accept/recv loops and join the threads."""
         self._stop.set()
         self._listener.close()
-        conn = self._conn
-        if conn is not None:
+        with self.lock:
+            conns = list(self._conns)
+        for conn in conns:
             try:
                 conn.shutdown(socket.SHUT_RDWR)
             except OSError:
@@ -268,3 +458,5 @@ class DbgcServer:
             conn.close()
         if self._thread is not None:
             self._thread.join(5.0)
+        with self._cond:
+            self._cond.wait_for(lambda: self._active == 0, timeout=5.0)

@@ -4,25 +4,37 @@ The paper's server either decompresses and processes frames or stores the
 compressed bit sequence directly; storage goes to files or to a relational
 database (they use ODBC — we use the stdlib's SQLite, the same access
 pattern without a driver dependency).
+
+With the multi-client ingest tier, several connection handlers write
+concurrently: :class:`SqliteFrameStore` serializes all statement/commit
+pairs behind an internal lock (``check_same_thread=False`` alone is *not*
+thread-safe — interleaved execute/commit from two threads can commit a
+half-written row or trip sqlite's shared-cache errors), and
+:class:`ShardedFrameStore` spreads the index space over N independent
+stores so handlers landing on different shards do not serialize on one
+database at all.
 """
 
 from __future__ import annotations
 
 import sqlite3
+import threading
 from pathlib import Path
+from typing import Iterable
 
 import numpy as np
 
 from repro.geometry.points import PointCloud
 
-__all__ = ["FileFrameStore", "SqliteFrameStore"]
+__all__ = ["FileFrameStore", "SqliteFrameStore", "ShardedFrameStore"]
 
 
 class FileFrameStore:
     """One file per frame under a directory.
 
     Compressed payloads are stored verbatim (``.dbgc``); decompressed
-    clouds as NPZ.
+    clouds as NPZ.  A frame index counts once even when both artifacts
+    exist for it.
     """
 
     def __init__(self, root: str | Path) -> None:
@@ -47,55 +59,91 @@ class FileFrameStore:
             return PointCloud(data["xyz"])
 
     def frame_indices(self) -> list[int]:
-        """Sorted indices of every stored frame (dedupe/audit aid)."""
-        return sorted(int(p.stem.split("_")[1]) for p in self.root.glob("frame_*"))
+        """Sorted indices of every stored frame (dedupe/audit aid).
+
+        Deduplicated by index: ``frame_N.dbgc`` and ``frame_N.npz``
+        together are still one frame.
+        """
+        return sorted({int(p.stem.split("_")[1]) for p in self.root.glob("frame_*")})
+
+    def total_payload_bytes(self) -> int:
+        """Summed on-disk bytes of every stored artifact (audit aid)."""
+        return sum(p.stat().st_size for p in self.root.glob("frame_*"))
 
     def __len__(self) -> int:
-        return len(list(self.root.glob("frame_*")))
+        return len(self.frame_indices())
+
+    def close(self) -> None:
+        """Files need no teardown; present for store-interface symmetry."""
+
+    def __enter__(self) -> "FileFrameStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class SqliteFrameStore:
-    """Frames as BLOB rows in a SQLite table."""
+    """Frames as BLOB rows in a SQLite table.
+
+    Safe to share across threads: every statement/commit pair runs under
+    an internal lock.  Writing a frame index that already holds the
+    *other* kind (payload vs cloud) raises instead of silently replacing
+    the row — only a same-kind overwrite (an idempotent retransmission)
+    is allowed.
+    """
 
     def __init__(self, path: str | Path = ":memory:") -> None:
+        self._lock = threading.Lock()
         self._conn = sqlite3.connect(str(path), check_same_thread=False)
-        self._conn.execute(
-            "CREATE TABLE IF NOT EXISTS frames ("
-            " frame_index INTEGER PRIMARY KEY,"
-            " kind TEXT NOT NULL,"
-            " n_points INTEGER NOT NULL,"
-            " data BLOB NOT NULL)"
-        )
-        self._conn.commit()
+        with self._lock:
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS frames ("
+                " frame_index INTEGER PRIMARY KEY,"
+                " kind TEXT NOT NULL,"
+                " n_points INTEGER NOT NULL,"
+                " data BLOB NOT NULL)"
+            )
+            self._conn.commit()
+
+    def _put(self, frame_index: int, kind: str, n_points: int, data: bytes) -> None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT kind FROM frames WHERE frame_index = ?", (frame_index,)
+            ).fetchone()
+            if row is not None and row[0] != kind:
+                raise ValueError(
+                    f"frame {frame_index} is already stored as {row[0]!r}; "
+                    f"refusing to replace it with a {kind!r}"
+                )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO frames VALUES (?, ?, ?, ?)",
+                (frame_index, kind, n_points, data),
+            )
+            self._conn.commit()
 
     def put_payload(self, frame_index: int, payload: bytes, n_points: int = 0) -> None:
-        self._conn.execute(
-            "INSERT OR REPLACE INTO frames VALUES (?, 'payload', ?, ?)",
-            (frame_index, n_points, payload),
-        )
-        self._conn.commit()
+        self._put(frame_index, "payload", n_points, payload)
 
     def get_payload(self, frame_index: int) -> bytes:
-        row = self._conn.execute(
-            "SELECT data FROM frames WHERE frame_index = ? AND kind = 'payload'",
-            (frame_index,),
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT data FROM frames WHERE frame_index = ? AND kind = 'payload'",
+                (frame_index,),
+            ).fetchone()
         if row is None:
             raise KeyError(f"no payload for frame {frame_index}")
         return row[0]
 
     def put_cloud(self, frame_index: int, cloud: PointCloud) -> None:
-        self._conn.execute(
-            "INSERT OR REPLACE INTO frames VALUES (?, 'cloud', ?, ?)",
-            (frame_index, len(cloud), cloud.xyz.tobytes()),
-        )
-        self._conn.commit()
+        self._put(frame_index, "cloud", len(cloud), cloud.xyz.tobytes())
 
     def get_cloud(self, frame_index: int) -> PointCloud:
-        row = self._conn.execute(
-            "SELECT n_points, data FROM frames WHERE frame_index = ? AND kind = 'cloud'",
-            (frame_index,),
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT n_points, data FROM frames WHERE frame_index = ? AND kind = 'cloud'",
+                (frame_index,),
+            ).fetchone()
         if row is None:
             raise KeyError(f"no cloud for frame {frame_index}")
         n_points, blob = row
@@ -103,13 +151,23 @@ class SqliteFrameStore:
 
     def frame_indices(self) -> list[int]:
         """Sorted indices of every stored frame (dedupe/audit aid)."""
-        rows = self._conn.execute(
-            "SELECT frame_index FROM frames ORDER BY frame_index"
-        ).fetchall()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT frame_index FROM frames ORDER BY frame_index"
+            ).fetchall()
         return [row[0] for row in rows]
 
+    def total_payload_bytes(self) -> int:
+        """Summed stored blob sizes (audit aid for ingest accounting)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COALESCE(SUM(LENGTH(data)), 0) FROM frames"
+            ).fetchone()
+        return int(row[0])
+
     def __len__(self) -> int:
-        return self._conn.execute("SELECT COUNT(*) FROM frames").fetchone()[0]
+        with self._lock:
+            return self._conn.execute("SELECT COUNT(*) FROM frames").fetchone()[0]
 
     def __enter__(self) -> "SqliteFrameStore":
         return self
@@ -118,4 +176,103 @@ class SqliteFrameStore:
         self.close()
 
     def close(self) -> None:
-        self._conn.close()
+        with self._lock:
+            self._conn.close()
+
+
+class ShardedFrameStore:
+    """Route frames over N independent stores by ``frame_index % n_shards``.
+
+    The ingest tier's storage fan-out: each shard sits behind its own
+    lock, so connection handlers landing on different shards write in
+    parallel while a single shard still serializes its own writes.  The
+    routing is stateless and deterministic, so a concurrent fleet run and
+    a serial replay of the same frames produce byte-identical shards.
+    """
+
+    def __init__(self, shards: Iterable[FileFrameStore | SqliteFrameStore]) -> None:
+        self.shards = list(shards)
+        if not self.shards:
+            raise ValueError("need at least one shard")
+        self._locks = [threading.Lock() for _ in self.shards]
+
+    @classmethod
+    def sqlite(
+        cls, n_shards: int, directory: str | Path | None = None
+    ) -> "ShardedFrameStore":
+        """N SQLite shards — in-memory, or ``shard_K.sqlite`` files under
+        ``directory``."""
+        if directory is None:
+            return cls(SqliteFrameStore() for _ in range(n_shards))
+        root = Path(directory)
+        root.mkdir(parents=True, exist_ok=True)
+        return cls(
+            SqliteFrameStore(root / f"shard_{k}.sqlite") for k in range(n_shards)
+        )
+
+    @classmethod
+    def files(cls, n_shards: int, root: str | Path) -> "ShardedFrameStore":
+        """N file-store shards under ``root/shard_K/``."""
+        base = Path(root)
+        return cls(FileFrameStore(base / f"shard_{k}") for k in range(n_shards))
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_for(self, frame_index: int) -> int:
+        """The shard number that owns ``frame_index``."""
+        return frame_index % len(self.shards)
+
+    def put_payload(self, frame_index: int, payload: bytes):
+        k = self.shard_for(frame_index)
+        with self._locks[k]:
+            return self.shards[k].put_payload(frame_index, payload)
+
+    def get_payload(self, frame_index: int) -> bytes:
+        k = self.shard_for(frame_index)
+        with self._locks[k]:
+            return self.shards[k].get_payload(frame_index)
+
+    def put_cloud(self, frame_index: int, cloud: PointCloud):
+        k = self.shard_for(frame_index)
+        with self._locks[k]:
+            return self.shards[k].put_cloud(frame_index, cloud)
+
+    def get_cloud(self, frame_index: int) -> PointCloud:
+        k = self.shard_for(frame_index)
+        with self._locks[k]:
+            return self.shards[k].get_cloud(frame_index)
+
+    def frame_indices(self) -> list[int]:
+        """Sorted indices over all shards."""
+        indices: list[int] = []
+        for lock, shard in zip(self._locks, self.shards):
+            with lock:
+                indices.extend(shard.frame_indices())
+        return sorted(indices)
+
+    def shard_payload_bytes(self) -> list[int]:
+        """Stored bytes per shard, in shard order (accounting audits)."""
+        totals = []
+        for lock, shard in zip(self._locks, self.shards):
+            with lock:
+                totals.append(shard.total_payload_bytes())
+        return totals
+
+    def total_payload_bytes(self) -> int:
+        return sum(self.shard_payload_bytes())
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self.shards)
+
+    def __enter__(self) -> "ShardedFrameStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        for lock, shard in zip(self._locks, self.shards):
+            with lock:
+                shard.close()
