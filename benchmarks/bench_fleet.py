@@ -6,11 +6,28 @@ linearly with the fleet size — the multi-client tier's headline claim.
 The scaling table lands in ``benchmarks/results/`` and the perf record in
 ``BENCH_fleet.json`` (see ``benchmarks/compare.py``).
 
+A durability row quantifies the receipt journal's tax: the same frames
+over an *unpaced* loopback (so store cost, not the wire, dominates)
+against the default write-ahead store, with and without a
+:class:`~repro.system.durability.ReceiptJournal`.  Both sides use the
+durable store — that is the production default and what every scaling
+row above runs — so the ratio isolates exactly what journaling adds.
+The row replays the fleet serially (``concurrent=False``): with
+concurrent clients every per-frame syscall is a GIL hand-off
+opportunity, and that scheduler noise — identical work, different
+interleaving — swamps the journal cost being measured.  Walls are
+median-of-rounds with alternating run order, which cancels slow machine
+drift that best-of-N is defenseless against.  The journaled run must
+keep >= 80% of the plain aggregate fps.
+
 CI runs a reduced sweep via ``DBGC_FLEET_CLIENTS=1,2``; the committed
 baseline covers 1,2,4,8 and the comparison intersects shared keys.
 """
 
 import os
+import statistics
+import tempfile
+from pathlib import Path
 
 from benchmarks.common import record_bench, write_result
 from repro.eval import render_table
@@ -24,6 +41,59 @@ FRAMES = 25
 #: server, is each client's bottleneck: the scaling headroom is real.
 PER_CLIENT_MBPS = 0.1
 N_SHARDS = 4
+
+#: Durability-overhead row: fleet size, frames per client (heavier than
+#: the scaling rows so per-frame cost dwarfs setup noise), and
+#: median-of-N rounds to tame machine jitter.
+DURABILITY_CLIENTS = 4
+DURABILITY_FRAMES = 100
+DURABILITY_ROUNDS = 7
+#: Realistic compressed-frame sizes so the per-frame store cost (the
+#: thing journaling taxes) dominates fixed protocol overhead.
+DURABILITY_PAYLOAD = (18_000, 30_000)
+#: The acceptance bar: journaling may cost at most 20% aggregate fps.
+DURABILITY_MAX_COST = 0.20
+
+
+def _durability_run(journal: "Path | None") -> tuple[float, int]:
+    """One unpaced serial-replay fleet run; returns (wall s, stored bytes)."""
+    spec = FleetSpec(
+        n_clients=DURABILITY_CLIENTS,
+        frames_per_client=DURABILITY_FRAMES,
+        seed=13,
+        payload_bytes=DURABILITY_PAYLOAD,
+    )
+    with ShardedFrameStore.sqlite(N_SHARDS) as store:
+        result = run_fleet(spec, store, concurrent=False, receipt_journal=journal)
+        stored_bytes = store.total_payload_bytes()
+    assert result.n_stored == DURABILITY_CLIENTS * DURABILITY_FRAMES, result.n_stored
+    assert result.n_dropped == 0 and result.n_quarantined == 0
+    return result.wall_s, stored_bytes
+
+
+def _durability_walls(tmp: Path) -> tuple[float, float, int]:
+    """Median-of-N walls for the plain and journaled ingest paths.
+
+    Each round runs both paths back to back, alternating which goes
+    first, so slow load drift hits both sides symmetrically.
+    """
+    plain_walls, journal_walls = [], []
+    stored_bytes = 0
+    for round_no in range(DURABILITY_ROUNDS):
+        # A fresh journal per round: replaying a previous round's receipts
+        # would mark every frame as already stored.
+        journal_path = tmp / f"receipts_{round_no}.jsonl"
+        runs = [(plain_walls, None), (journal_walls, journal_path)]
+        if round_no % 2:
+            runs.reverse()
+        for walls, journal in runs:
+            wall, stored_bytes = _durability_run(journal)
+            walls.append(wall)
+    return (
+        statistics.median(plain_walls),
+        statistics.median(journal_walls),
+        stored_bytes,
+    )
 
 
 def test_fleet_scaling(benchmark):
@@ -48,12 +118,29 @@ def test_fleet_scaling(benchmark):
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
+    # The scaling rows use in-memory stores; give the journal the same
+    # "no disk hardware in the measurement" footing when tmpfs exists.
+    shm = "/dev/shm" if os.path.isdir("/dev/shm") else None
+    with tempfile.TemporaryDirectory(dir=shm) as tmp:
+        plain_wall, journal_wall, durability_bytes = _durability_walls(Path(tmp))
+    n_durability = DURABILITY_CLIENTS * DURABILITY_FRAMES
+    plain_fps = n_durability / plain_wall
+    journal_fps = n_durability / journal_wall
+    # The durability acceptance gate: <20% aggregate-fps cost.
+    assert journal_fps >= (1.0 - DURABILITY_MAX_COST) * plain_fps, (
+        f"journal overhead too high: {plain_fps:.1f} -> {journal_fps:.1f} fps"
+    )
+
     fps = {n: v[1] for n, v in results.items()}
     rows = [
         [str(n), f"{results[n][0]:.2f} s", f"{fps[n]:.1f}",
          f"{fps[n] / fps[CLIENT_COUNTS[0]]:.2f}x"]
         for n in CLIENT_COUNTS
     ]
+    rows.append([
+        f"{DURABILITY_CLIENTS} (journaled)", f"{journal_wall:.2f} s",
+        f"{journal_fps:.1f}", f"{journal_fps / plain_fps:.2f}x of plain",
+    ])
     text = render_table(
         ["clients", "wall", "frames/sec", "speedup"],
         rows,
@@ -63,13 +150,15 @@ def test_fleet_scaling(benchmark):
         ),
     )
     write_result("fleet_scaling", text)
+    wall_times = {f"clients{n}": results[n][0] for n in CLIENT_COUNTS}
+    wall_times["durability_plain"] = plain_wall
+    wall_times["durability_journal"] = journal_wall
+    sizes = {f"clients{n}_stored_bytes": results[n][2] for n in CLIENT_COUNTS}
+    sizes["durability_stored_bytes"] = durability_bytes
+    counts = {f"clients{n}_frames": n * FRAMES for n in CLIENT_COUNTS}
+    counts["durability_frames"] = n_durability
     record_bench(
-        "fleet",
-        wall_times_s={f"clients{n}": results[n][0] for n in CLIENT_COUNTS},
-        sizes_bytes={
-            f"clients{n}_stored_bytes": results[n][2] for n in CLIENT_COUNTS
-        },
-        point_counts={f"clients{n}_frames": n * FRAMES for n in CLIENT_COUNTS},
+        "fleet", wall_times_s=wall_times, sizes_bytes=sizes, point_counts=counts
     )
     # The acceptance bar: 8 concurrent clients must beat one client's
     # aggregate ingest rate by at least 2x (it should be close to 8x).

@@ -13,6 +13,7 @@ Subcommands:
 - ``stream``     — run the client/server pipeline over a (faulty) uplink
 - ``serve``      — run a standalone multi-client ingest server
 - ``fleet``      — drive N concurrent clients against one server (loadgen)
+- ``scrub``      — audit (and repair) replica CRCs of an on-disk store
 
 All commands run offline; see ``dbgc <command> --help`` for options.
 """
@@ -331,13 +332,53 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0 if accounted == args.frames else 1
 
 
+def _open_scrub_store(path: Path, replication: int):
+    """Reopen an on-disk store for scrubbing, inferring its layout."""
+    from repro.system import ShardedFrameStore, SqliteFrameStore
+
+    if path.is_file():
+        # A single SQLite database: still CRC-audited, just replica-less.
+        return ShardedFrameStore([SqliteFrameStore(path)])
+    if not path.is_dir():
+        raise SystemExit(f"no store at {path}")
+    sqlite_shards = sorted(path.glob("shard_*.sqlite"))
+    if sqlite_shards:
+        return ShardedFrameStore.sqlite(
+            len(sqlite_shards), directory=path, replication=replication
+        )
+    shard_dirs = sorted(d for d in path.glob("shard_*") if d.is_dir())
+    if shard_dirs:
+        return ShardedFrameStore.files(
+            len(shard_dirs), path, replication=replication
+        )
+    raise SystemExit(
+        f"{path} holds neither shard_K.sqlite files nor shard_K/ directories"
+    )
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    store = _open_scrub_store(Path(args.store), args.replication)
+    with store:
+        report = store.scrub(repair=not args.no_repair)
+    print(str(report))
+    for defect in report.defects:
+        print(f"  {defect}")
+    # Healthy, or every defect repaired -> success.
+    return 0 if report.n_unrepaired == 0 else 1
+
+
 def _open_serve_store(args: argparse.Namespace):
     from repro.system import ShardedFrameStore, SqliteFrameStore
 
+    replication = getattr(args, "replication", 1)
     if args.shards > 1:
         return ShardedFrameStore.sqlite(
-            args.shards, directory=args.store if args.store else None
+            args.shards,
+            directory=args.store if args.store else None,
+            replication=replication,
         )
+    if replication > 1:
+        raise SystemExit("--replication needs --shards > 1 (copies live on shards)")
     return SqliteFrameStore(args.store if args.store else ":memory:")
 
 
@@ -351,6 +392,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         max_clients=args.max_clients,
+        receipt_journal=args.receipt_journal if args.receipt_journal else None,
+        busy_threshold_s=args.busy_threshold if args.busy_threshold > 0 else None,
     ) as server:
         host, port = server.address
         print(f"listening on {host}:{port} "
@@ -390,8 +433,16 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         bandwidth_mbps=args.bandwidth if args.bandwidth > 0 else None,
         ack_timeout=args.ack_timeout,
     )
-    with ShardedFrameStore.sqlite(args.shards) as store:
-        result = run_fleet(spec, store, max_clients=args.max_clients)
+    if args.kill_after > 0 and not args.receipt_journal:
+        raise SystemExit("--kill-after requires --receipt-journal")
+    with ShardedFrameStore.sqlite(args.shards, replication=args.replication) as store:
+        result = run_fleet(
+            spec,
+            store,
+            max_clients=args.max_clients,
+            receipt_journal=args.receipt_journal if args.receipt_journal else None,
+            kill_after_frames=args.kill_after if args.kill_after > 0 else None,
+        )
         rows = []
         for cid in sorted(result.reports):
             report = result.reports[cid]
@@ -409,7 +460,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         ))
         print(f"aggregate: {result.n_stored} stored in {result.wall_s:.2f}s "
               f"({result.frames_per_second:.1f} fps), "
-              f"peak concurrency {result.server.peak_active_clients}")
+              f"peak concurrency {result.server.peak_active_clients}"
+              + (f", {result.restarts} server restart(s)" if result.restarts else ""))
         shard_bytes = store.shard_payload_bytes()
         print("shards: " + ", ".join(
             f"#{k}={nbytes}B" for k, nbytes in enumerate(shard_bytes)
@@ -592,6 +644,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=300.0,
         help="seconds to wait for --exit-after-streams before giving up",
     )
+    p.add_argument(
+        "--replication", type=int, default=1,
+        help="store each frame on N shards (needs --shards > 1)",
+    )
+    p.add_argument(
+        "--receipt-journal", default="", metavar="PATH",
+        help="durable receipt journal: a server restarted over it answers "
+        "retransmissions of already-stored frames with DUPLICATE",
+    )
+    p.add_argument(
+        "--busy-threshold", type=float, default=0.0, metavar="SECONDS",
+        help="store-latency EWMA above which ACKs carry the BUSY "
+        "backpressure hint (0 = disabled)",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -627,7 +693,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--ack-timeout", type=float, default=2.0,
         help="seconds to wait for a server ACK before retransmitting",
     )
+    p.add_argument(
+        "--replication", type=int, default=1,
+        help="store each frame on N shards (replica fan-out)",
+    )
+    p.add_argument(
+        "--receipt-journal", default="", metavar="PATH",
+        help="durable receipt journal backing server restart recovery",
+    )
+    p.add_argument(
+        "--kill-after", type=int, default=0, metavar="N",
+        help="kill-and-restart drill: SIGKILL-equivalently stop the server "
+        "after N stored frames and restart it on the same port "
+        "(requires --receipt-journal)",
+    )
     p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser(
+        "scrub", help="audit (and repair) replica CRCs of an on-disk store"
+    )
+    p.add_argument(
+        "store",
+        help="store location: a shard directory (shard_K.sqlite files or "
+        "shard_K/ subdirectories) or a single SQLite database",
+    )
+    p.add_argument(
+        "--replication", type=int, default=1,
+        help="replica fan-out the store was written with",
+    )
+    p.add_argument(
+        "--no-repair", action="store_true",
+        help="report defects only; do not rewrite bad copies",
+    )
+    p.set_defaults(func=_cmd_scrub)
 
     p = sub.add_parser("bench", help="compare all methods on one frame")
     p.add_argument("--scene", default="kitti-city", choices=sorted(SCENE_BUILDERS))

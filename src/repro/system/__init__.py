@@ -24,11 +24,30 @@ out over a :class:`~repro.system.storage.ShardedFrameStore`.  The load
 generator (:mod:`repro.system.loadgen`) drives N concurrent clients over
 independently seeded fault channels for the `bench_fleet` throughput
 table and the fleet acceptance tests.
+
+The durability tier (:mod:`repro.system.durability`) survives *process*
+faults on top of the channel faults: every store commits writes
+atomically and recovers torn ones on open, the server journals receipts
+(:class:`~repro.system.durability.ReceiptJournal`) so a restart rebuilds
+its dedupe state, :class:`~repro.system.storage.ShardedFrameStore` can
+replicate frames across shards and ``scrub()`` them back to health, and
+an overloaded server piggybacks a BUSY hint on its ACKs that clients
+answer by slowing down or coarsening.
+:class:`~repro.system.faults.ServerKillSwitch` injects the process fault
+deterministically for the kill-and-restart drills.
 """
 
 from repro.system.channel import BandwidthShaper
 from repro.system.client import OVERFLOW_POLICIES, DbgcClient
-from repro.system.faults import FaultPlan, FaultSpec, FaultyChannel
+from repro.system.durability import (
+    JournalReplay,
+    ReceiptJournal,
+    RecoveryReport,
+    ScrubDefect,
+    ScrubReport,
+    atomic_write_bytes,
+)
+from repro.system.faults import FaultPlan, FaultSpec, FaultyChannel, ServerKillSwitch
 from repro.system.loadgen import FleetResult, FleetSpec, run_fleet
 from repro.system.metrics import FrameTrace, PipelineReport, TransportEvent
 from repro.system.server import DbgcServer, QuarantinedFrame, StreamState
@@ -45,12 +64,19 @@ __all__ = [
     "FleetResult",
     "FleetSpec",
     "FrameTrace",
+    "JournalReplay",
     "OVERFLOW_POLICIES",
     "PipelineReport",
     "QuarantinedFrame",
+    "ReceiptJournal",
+    "RecoveryReport",
+    "ScrubDefect",
+    "ScrubReport",
+    "ServerKillSwitch",
     "ShardedFrameStore",
     "SqliteFrameStore",
     "StreamState",
     "TransportEvent",
+    "atomic_write_bytes",
     "run_fleet",
 ]

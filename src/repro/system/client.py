@@ -37,7 +37,9 @@ from repro.system.channel import BandwidthShaper
 from repro.system.faults import FaultPlan, FaultyChannel
 from repro.system.metrics import FrameTrace, PipelineReport
 from repro.system.protocol import (
+    ACK_FLAG_BUSY,
     ACK_QUARANTINED,
+    ACK_STATUS_MASK,
     END_ACK_INDEX,
     PAYLOAD_OFFSET,
     TYPE_ACK,
@@ -157,6 +159,12 @@ class DbgcClient:
         every connection (initial and reconnects).  The server keys all
         per-stream state — dedupe, ACK ordinals, receipts — by it, so
         give each client of a fleet its own id.
+    busy_backoff_s:
+        How long to honor a server BUSY hint (the backpressure bit an
+        overloaded server sets on its ACKs): the sender pauses this many
+        seconds before the next transmit, and the link counts as
+        congested for the ``"coarsen"`` policy's ``supports()`` check
+        until the pause expires.
     """
 
     def __init__(
@@ -176,6 +184,7 @@ class DbgcClient:
         retry_seed: int = 0,
         connect_retries: int | None = None,
         stream_id: int = 0,
+        busy_backoff_s: float = 0.05,
     ) -> None:
         if overflow_policy not in OVERFLOW_POLICIES:
             raise ValueError(
@@ -199,6 +208,9 @@ class DbgcClient:
         self.backoff_base = float(backoff_base)
         self.backoff_cap = float(backoff_cap)
         self.stream_id = int(stream_id)
+        self.busy_backoff_s = float(busy_backoff_s)
+        #: Monotonic deadline until which the server's BUSY hint holds.
+        self._busy_until = 0.0
         self.report = PipelineReport()
         self.transport_error: BaseException | None = None
         self._rng = Random(retry_seed)
@@ -300,6 +312,8 @@ class DbgcClient:
         """Is the link falling behind? (paper's ``supports()`` criterion)"""
         if self._queue.full():
             return True
+        if time.perf_counter() < self._busy_until:
+            return True  # server said BUSY: treat the link as congested
         rate = self._frame_rate
         if rate is not None and self.channel is not None:
             return not self.channel.supports(payload_bytes, rate)
@@ -335,6 +349,10 @@ class DbgcClient:
             if item is _CLOSE:
                 self._send_end()
                 return
+            pause = self._busy_until - time.perf_counter()
+            if pause > 0:
+                # Server backpressure: slow down before the next transmit.
+                time.sleep(min(pause, self.busy_backoff_s))
             try:
                 self._transmit(item)
             except BaseException as exc:
@@ -425,10 +443,20 @@ class DbgcClient:
         while True:
             record = read_record(self._sock)
             if record.type == TYPE_ACK and record.frame_index == frame_index:
-                if record.flags == ACK_QUARANTINED:
+                if record.flags & ACK_FLAG_BUSY:
+                    self._note_busy()
+                status = record.flags & ACK_STATUS_MASK
+                if status == ACK_QUARANTINED:
                     return "quarantined"
                 return "stored"  # fresh store or deduped retransmission
             # A stale ACK from a previous attempt/frame: keep reading.
+
+    def _note_busy(self) -> None:
+        """Honor a server BUSY hint: pause the sender, mark congestion."""
+        self._busy_until = time.perf_counter() + self.busy_backoff_s
+        with self._lock:
+            self.report.busy_hints += 1
+        _obs.count("transport.busy_hints")
 
     def _connect(self, retries: int, first_immediate: bool = False) -> socket.socket:
         last: BaseException | None = None
@@ -488,15 +516,21 @@ class DbgcClient:
     # -- shutdown / receipts ------------------------------------------
 
     def close(self) -> None:
-        """Flush the queue, signal end-of-stream, close the connection."""
-        if self._closed:
+        """Flush the queue, signal end-of-stream, close the connection.
+
+        Idempotent, and safe on a client whose ``__init__`` never
+        finished (a failed connect leaves no socket or thread behind).
+        """
+        if getattr(self, "_closed", True):
             return
         self._closed = True
-        if self._sender is not None and self._sender.is_alive():
+        sender = getattr(self, "_sender", None)
+        if sender is not None and sender.is_alive():
             self._queue.put_priority(_CLOSE)
-            self._sender.join(timeout=60.0)
-        if self._sock is not None:
-            self._sock.close()
+            sender.join(timeout=60.0)
+        sock = getattr(self, "_sock", None)
+        if sock is not None:
+            sock.close()
 
     def merge_receipts(self, receipts: list[tuple[int, int, float, float]]) -> None:
         """Fill server-side timestamps into this client's traces."""

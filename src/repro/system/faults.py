@@ -26,11 +26,12 @@ from __future__ import annotations
 
 import hashlib
 import random
+import threading
 from dataclasses import dataclass
 
 from repro.system.channel import BandwidthShaper
 
-__all__ = ["FaultSpec", "FaultPlan", "FaultyChannel"]
+__all__ = ["FaultSpec", "FaultPlan", "FaultyChannel", "ServerKillSwitch"]
 
 #: Sentinel distinguishing "not given" from an explicit ``shaper=None``.
 _UNSET = object()
@@ -91,6 +92,59 @@ class FaultPlan:
     @property
     def clean(self) -> bool:
         return not self.flip_bits and self.cut_after is None
+
+
+class ServerKillSwitch:
+    """Process-level fault injection: kill a server after N stored frames.
+
+    The channel faults above model a lossy *link*; this models a dying
+    *endpoint*.  :meth:`arm` starts a watcher thread that polls the
+    server's receipt count and calls
+    :meth:`~repro.system.server.DbgcServer.kill` — the SIGKILL-equivalent
+    stop — the moment it reaches ``kill_after_frames``, then invokes
+    ``on_kill`` (the restart hook).  The kill point is deterministic in
+    *what* survives — exactly the frames the store and receipt journal
+    committed — even though which frame is the N-th depends on thread
+    timing; drills therefore assert on recovered state, not on the kill
+    instant.
+    """
+
+    def __init__(self, kill_after_frames: int, poll_interval_s: float = 0.002) -> None:
+        if kill_after_frames < 1:
+            raise ValueError(
+                f"kill_after_frames must be >= 1, got {kill_after_frames}"
+            )
+        self.kill_after_frames = int(kill_after_frames)
+        self.poll_interval_s = float(poll_interval_s)
+        #: Set once the server has been killed.
+        self.fired = threading.Event()
+        self._cancel = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def arm(self, server, on_kill=None) -> "ServerKillSwitch":
+        """Watch ``server`` and kill it at the threshold (background)."""
+
+        def watch() -> None:
+            while not self._cancel.is_set():
+                with server.lock:
+                    stored = len(server.receipts)
+                if stored >= self.kill_after_frames:
+                    server.kill()
+                    self.fired.set()
+                    if on_kill is not None:
+                        on_kill()
+                    return
+                self._cancel.wait(self.poll_interval_s)
+
+        self._thread = threading.Thread(target=watch, daemon=True)
+        self._thread.start()
+        return self
+
+    def cancel(self) -> None:
+        """Stand down (the run finished below the threshold); idempotent."""
+        self._cancel.set()
+        if self._thread is not None:
+            self._thread.join(5.0)
 
 
 class FaultyChannel:

@@ -22,13 +22,17 @@ itself is benchmarked elsewhere.
 
 from __future__ import annotations
 
+import errno
 import random
 import threading
 import time
 from dataclasses import dataclass, field, replace
 
+from pathlib import Path
+
 from repro.system.channel import BandwidthShaper
-from repro.system.faults import FaultSpec, FaultyChannel
+from repro.system.durability import ReceiptJournal
+from repro.system.faults import FaultSpec, FaultyChannel, ServerKillSwitch
 from repro.system.client import DbgcClient
 from repro.system.metrics import PipelineReport
 from repro.system.server import DbgcServer
@@ -121,8 +125,11 @@ class FleetResult:
     spec: FleetSpec
     reports: dict[int, PipelineReport]
     payloads: dict[int, dict[int, bytes]]
+    #: The final server — after a kill-and-restart drill, the restarted one.
     server: DbgcServer
     wall_s: float
+    #: Server restarts performed by the kill switch (0 = no process fault).
+    restarts: int = 0
 
     @property
     def merged(self) -> PipelineReport:
@@ -159,6 +166,8 @@ def run_fleet(
     mode: str = "store",
     max_clients: int | None = None,
     concurrent: bool = True,
+    receipt_journal: ReceiptJournal | str | Path | None = None,
+    kill_after_frames: int | None = None,
 ) -> FleetResult:
     """Drive ``spec.n_clients`` clients against one server over ``store``.
 
@@ -167,7 +176,22 @@ def run_fleet(
     stream scoping are all keyed per client, the resulting store contents
     and per-client accounting must match the concurrent run byte for
     byte.
+
+    ``kill_after_frames=N`` turns the run into a kill-and-restart drill:
+    a :class:`~repro.system.faults.ServerKillSwitch` SIGKILL-equivalently
+    stops the server once N frames have been stored and immediately
+    restarts it on the *same port* over the same store and
+    ``receipt_journal`` (required — recovery needs durable receipts).
+    The clients ride their normal reconnect/retransmit path across the
+    outage; the restarted server recovers its dedupe state from the
+    journal and answers retransmissions of pre-kill frames with
+    DUPLICATE.
     """
+    if kill_after_frames is not None and receipt_journal is None:
+        raise ValueError(
+            "kill_after_frames requires a receipt_journal: without durable "
+            "receipts the restarted server would double-ACK duplicates"
+        )
     payloads = {
         cid: client_payloads(spec, cid) for cid in range(spec.n_clients)
     }
@@ -188,12 +212,50 @@ def run_fleet(
     errors: list[BaseException] = []
     errors_lock = threading.Lock()
 
-    server = DbgcServer(
-        store,
-        mode=mode,
-        channel=channels,
-        max_clients=max_clients if max_clients is not None else spec.n_clients,
-    ).start()
+    def make_server(host: str = "127.0.0.1", port: int = 0) -> DbgcServer:
+        return DbgcServer(
+            store,
+            mode=mode,
+            host=host,
+            port=port,
+            channel=channels,
+            max_clients=max_clients if max_clients is not None else spec.n_clients,
+            receipt_journal=receipt_journal,
+        ).start()
+
+    server = make_server()
+    servers = [server]
+    switch: ServerKillSwitch | None = None
+    if kill_after_frames is not None:
+        host, port = server.address
+
+        def restart() -> None:
+            # kill() closed the old listener object, but CPython defers
+            # the real fd close while the accept loop is parked inside
+            # accept() — the port can stay bound for up to that loop's
+            # 0.1s poll timeout.  Retry the rebind briefly instead of
+            # racing it; clients meanwhile reconnect with backoff and
+            # retransmit into the recovered server.
+            deadline = time.monotonic() + 5.0
+            while True:
+                try:
+                    servers.append(make_server(host, port))
+                    return
+                except OSError as exc:
+                    if (
+                        exc.errno != errno.EADDRINUSE
+                        or time.monotonic() >= deadline
+                    ):
+                        with errors_lock:
+                            errors.append(exc)
+                        return
+                    time.sleep(0.02)
+                except BaseException as exc:  # pragma: no cover - surfaced below
+                    with errors_lock:
+                        errors.append(exc)
+                    return
+
+        switch = ServerKillSwitch(kill_after_frames).arm(server, on_kill=restart)
 
     def drive(cid: int) -> None:
         try:
@@ -228,12 +290,25 @@ def run_fleet(
         else:
             for cid in range(spec.n_clients):
                 drive(cid)
+        if switch is not None:
+            switch.cancel()  # joins the watcher, so any restart is complete
         if errors:
             raise errors[0]
-        server.wait_for_streams(spec.n_clients, timeout=120.0)
+        # After a restart the journal-recovered ENDs of pre-kill streams
+        # count toward the final server's tally, so waiting on it covers
+        # the whole fleet.
+        servers[-1].wait_for_streams(spec.n_clients, timeout=120.0)
         wall = time.perf_counter() - started
     finally:
-        server.close()
+        if switch is not None:
+            switch.cancel()
+        for srv in servers:
+            srv.close()
     return FleetResult(
-        spec=spec, reports=reports, payloads=payloads, server=server, wall_s=wall
+        spec=spec,
+        reports=reports,
+        payloads=payloads,
+        server=servers[-1],
+        wall_s=wall,
+        restarts=len(servers) - 1,
     )

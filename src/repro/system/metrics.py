@@ -84,6 +84,10 @@ class PipelineReport:
 
     traces: list[FrameTrace] = field(default_factory=list)
     events: list[TransportEvent] = field(default_factory=list)
+    #: Server BUSY hints received on ACKs.  A plain counter, not an
+    #: event: hint timing depends on store latency, so it must stay out
+    #: of the deterministic ``accounting_key()`` fingerprint.
+    busy_hints: int = 0
 
     def add(self, trace: FrameTrace) -> None:
         self.traces.append(trace)
@@ -109,6 +113,7 @@ class PipelineReport:
         for report in reports:
             merged.traces.extend(report.traces)
             merged.events.extend(report.events)
+            merged.busy_hints += report.busy_hints
         return merged
 
     @property

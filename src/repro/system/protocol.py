@@ -9,7 +9,9 @@ stream.  v2 records are self-describing and checksummed::
     magic         b"DBG2"                                  (4 bytes)
     type          u8    1 = FRAME, 2 = END, 3 = ACK, 4 = HELLO
     flags         u8    FRAME: bit 0 = degraded payload
-                        ACK:   0 = stored, 1 = quarantined, 2 = duplicate
+                        ACK:   low nibble = status (0 = stored,
+                        1 = quarantined, 2 = duplicate); bit 7 = BUSY
+                        (server backpressure hint, see below)
     frame_index   u32   HELLO: the stream id; END/END-ACK: END_ACK_INDEX
     payload_len   u32
     header_crc32  u32   CRC-32 over the 14 bytes above
@@ -39,6 +41,17 @@ exact index (a stale frame ACK cannot complete the handshake) and
 retransmits END if the ACK is lost.  Frame indices are still free to use
 the full u32 range — only the END *handshake* reserves the sentinel, and
 a FRAME record with index ``0xFFFFFFFF`` round-trips unchanged.
+
+BUSY backpressure hint.  A server whose store writes are falling behind
+(latency EWMA above its threshold, or too many writes in flight) sets
+:data:`ACK_FLAG_BUSY` — the high bit of the ACK ``flags`` byte — on the
+acknowledgements it sends while overloaded.  The status stays in the low
+nibble (:data:`ACK_STATUS_MASK`), so a v2.1 receiver that masks flags
+reads v2.2 ACKs unchanged, and a v2.1 *sender* simply never sets the
+bit.  The client consumes the hint through its existing degradation
+machinery: it pauses its sender briefly (slow down) and treats the link
+as congested so the ``"coarsen"`` policy recompresses at a coarser error
+bound (see :class:`~repro.system.client.DbgcClient`).
 """
 
 from __future__ import annotations
@@ -57,6 +70,8 @@ __all__ = [
     "ACK_STORED",
     "ACK_QUARANTINED",
     "ACK_DUPLICATE",
+    "ACK_STATUS_MASK",
+    "ACK_FLAG_BUSY",
     "END_ACK_INDEX",
     "FLAG_DEGRADED",
     "Record",
@@ -80,10 +95,17 @@ _KNOWN_TYPES = frozenset((TYPE_FRAME, TYPE_END, TYPE_ACK, TYPE_HELLO))
 #: never complete it; FRAME records may still use the index themselves.
 END_ACK_INDEX = 0xFFFFFFFF
 
-#: ACK status codes (carried in ``flags``).
+#: ACK status codes (carried in the low nibble of ``flags``).
 ACK_STORED = 0
 ACK_QUARANTINED = 1
 ACK_DUPLICATE = 2
+
+#: Mask selecting the ACK status from ``flags`` (high bits are hints).
+ACK_STATUS_MASK = 0x0F
+
+#: ACK flag bit: the server is overloaded (store latency / queue depth);
+#: the client should slow down or coarsen.  Orthogonal to the status.
+ACK_FLAG_BUSY = 0x80
 
 #: FRAME flag: the payload was recompressed at a coarser error bound.
 FLAG_DEGRADED = 1
@@ -132,6 +154,9 @@ class Record:
     #: Garbage bytes skipped before this record's magic was found (> 0
     #: means the previous record's framing was corrupted in flight).
     resync_skipped: int = field(default=0, compare=False)
+    #: CRC-32 of ``payload``, as verified on the wire — receivers can
+    #: reuse it (journal receipts, store audits) without recomputing.
+    payload_crc: int = field(default=0, compare=False)
 
 
 def recv_exact(conn: socket.socket, n: int) -> bytes:
@@ -199,10 +224,13 @@ def read_record(conn: socket.socket) -> Record:
             raise ProtocolError("no valid record header found while resynchronizing")
         prefix = prefix[1:] + recv_exact(conn, 1)
     payload = b""
+    actual = 0
     if payload_len:
         payload = recv_exact(conn, payload_len)
         (payload_crc,) = _CRC.unpack(recv_exact(conn, _CRC.size))
         actual = zlib.crc32(payload)
         if actual != payload_crc:
             raise CorruptPayloadError(frame_index, payload, payload_crc, actual)
-    return Record(rtype, frame_index, flags, payload, resync_skipped=skipped)
+    return Record(
+        rtype, frame_index, flags, payload, resync_skipped=skipped, payload_crc=actual
+    )

@@ -30,14 +30,18 @@ from __future__ import annotations
 import socket
 import threading
 import time
+import zlib
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Mapping
 
 from repro.core.pipeline import DBGCDecompressor
 from repro.observability import recorder as _obs
+from repro.system.durability import ReceiptJournal
 from repro.system.faults import FaultyChannel
 from repro.system.protocol import (
     ACK_DUPLICATE,
+    ACK_FLAG_BUSY,
     ACK_QUARANTINED,
     ACK_STORED,
     END_ACK_INDEX,
@@ -54,6 +58,9 @@ from repro.system.protocol import (
 from repro.system.storage import FileFrameStore, ShardedFrameStore, SqliteFrameStore
 
 __all__ = ["DbgcServer", "QuarantinedFrame", "StreamState", "recv_exact"]
+
+#: Smoothing factor of the store-write latency EWMA behind busy hints.
+_STORE_EWMA_ALPHA = 0.2
 
 
 @dataclass(frozen=True)
@@ -117,6 +124,27 @@ class DbgcServer:
         Handler-thread cap.  When every slot is busy, new connections
         wait in the TCP backlog until one frees up (backpressure, not
         refusal).
+    receipt_journal:
+        A :class:`~repro.system.durability.ReceiptJournal` (or a path to
+        open one at) making the per-stream dedupe/END state durable: the
+        server journals every stored frame and END, and a *restarted*
+        server replays the journal on construction — so retransmissions
+        of frames stored before a crash are answered with DUPLICATE
+        instead of being stored twice.  When a path is given the server
+        owns (and closes) the journal.
+    busy_threshold_s:
+        Backpressure trigger: when the store-write latency EWMA exceeds
+        this many seconds (or ``busy_depth`` writes are in flight), ACKs
+        carry the protocol-v2 BUSY hint and clients slow down / coarsen.
+        ``None`` (default) disables busy hints.
+    busy_depth:
+        Optional in-flight store-write count that also trips the BUSY
+        hint (only consulted when ``busy_threshold_s`` is set).
+    max_quarantine:
+        Bound on the quarantine list: when full, the oldest entry is
+        evicted (counted in :attr:`quarantine_evicted` and the
+        ``server.quarantine.evicted`` counter) so a hostile client
+        cannot grow server memory without bound.
 
     Thread-safety: handler threads append to :attr:`receipts`,
     :attr:`quarantine`, and :attr:`events` while the driver may read
@@ -132,15 +160,24 @@ class DbgcServer:
         port: int = 0,
         channel: FaultyChannel | Mapping[int, FaultyChannel] | None = None,
         max_clients: int = 8,
+        receipt_journal: ReceiptJournal | str | Path | None = None,
+        busy_threshold_s: float | None = None,
+        busy_depth: int | None = None,
+        max_quarantine: int = 256,
     ) -> None:
         if mode not in ("decompress", "store"):
             raise ValueError(f"unknown server mode {mode!r}")
         if max_clients < 1:
             raise ValueError(f"max_clients must be >= 1, got {max_clients}")
+        if max_quarantine < 1:
+            raise ValueError(f"max_quarantine must be >= 1, got {max_quarantine}")
         self.store = store
         self.mode = mode
         self.channel = channel
         self.max_clients = int(max_clients)
+        self.busy_threshold_s = busy_threshold_s
+        self.busy_depth = busy_depth
+        self.max_quarantine = int(max_quarantine)
         self._decompressor = DBGCDecompressor()
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -169,15 +206,72 @@ class DbgcServer:
         self._active = 0
         self._peak_active = 0
         self._ends_seen = 0
+        self._closed = False
+        #: Store-write latency EWMA and in-flight write count feeding the
+        #: BUSY backpressure hint.
+        self._store_ewma_s = 0.0
+        self._writes_in_flight = 0
+        #: BUSY hints piggybacked on ACKs so far.
+        self.busy_hints = 0
+        #: Quarantine entries evicted by the ``max_quarantine`` bound.
+        self.quarantine_evicted = 0
         #: (frame_index, payload_bytes, received_at, stored_at) per stored frame.
         self.receipts: list[tuple[int, int, float, float]] = []
-        #: Payloads rejected with their exception text and bytes.
+        #: Payloads rejected with their exception text and bytes (bounded
+        #: by ``max_quarantine``, oldest evicted first).
         self.quarantine: list[QuarantinedFrame] = []
         #: Connection-level happenings: ("accept"|"hello"|"disconnect"|
-        #: "duplicate"|"resync"|"end", detail) in serve order.
+        #: "duplicate"|"resync"|"end"|"recover", detail) in serve order.
         self.events: list[tuple[str, str]] = []
         #: Connections accepted over the server's lifetime.
         self.connections = 0
+        #: Durable receipt journal (None = in-memory state only).
+        self.journal: ReceiptJournal | None = None
+        self._journal_owned = False
+        if receipt_journal is not None:
+            if isinstance(receipt_journal, (str, Path)):
+                # Batched appends keep the journal's write(2) off the ACK
+                # hot path (one syscall per 16 receipts).  The widened
+                # kill-loss window is safe here — see _ingest.
+                self.journal = ReceiptJournal(receipt_journal, batch=16)
+                self._journal_owned = True
+            else:
+                self.journal = receipt_journal
+            self._recover_streams()
+
+    def _recover_streams(self) -> None:
+        """Rebuild per-stream dedupe/END state from the receipt journal.
+
+        Runs on construction, before the accept loop starts: a server
+        restarted over the same journal answers retransmissions of
+        already-stored frames with DUPLICATE instead of double-storing,
+        and already-ENDed streams stay ended.
+        """
+        replay = self.journal.replay()
+        recovered_frames = 0
+        for stream_id, seen in replay.seen_by_stream().items():
+            state = self._streams.setdefault(stream_id, StreamState(stream_id))
+            state.seen.update(seen)
+            recovered_frames += len(seen)
+        for stream_id in replay.ended:
+            state = self._streams.setdefault(stream_id, StreamState(stream_id))
+            if not state.ended:
+                state.ended = True
+                self._ends_seen += 1
+        if not self._streams and not replay.torn:
+            return
+        _obs.count("server.recovery.streams", len(self._streams))
+        _obs.count("server.recovery.frames", recovered_frames)
+        if replay.torn:
+            _obs.count("server.recovery.torn_records", replay.torn)
+        self.events.append(
+            (
+                "recover",
+                f"{recovered_frames} frame(s) over {len(self._streams)} stream(s), "
+                f"{self._ends_seen} ended"
+                + (", torn journal tail discarded" if replay.torn else ""),
+            )
+        )
 
     @property
     def address(self) -> tuple[str, int]:
@@ -329,14 +423,27 @@ class DbgcServer:
                 self._note("end", f"stream {stream.stream_id}")
                 if first_end:
                     _obs.count("server.streams.ended")
+                if first_end and self.journal is not None:
+                    # Before the ACK (write-ahead ordering); a lost
+                    # append only means the client re-ENDs after a
+                    # restart, which is idempotent.
+                    self.journal.append_end(stream.stream_id)
                 self._ack(conn, stream, END_ACK_INDEX, ACK_STORED)
                 return
             if record.type == TYPE_FRAME:
-                self._ingest(conn, stream, record.frame_index, record.payload)
+                self._ingest(
+                    conn, stream, record.frame_index, record.payload,
+                    record.payload_crc,
+                )
             # Anything else (stray ACK echoes) is ignored.
 
     def _ingest(
-        self, conn: socket.socket, stream: StreamState, frame_index: int, payload: bytes
+        self,
+        conn: socket.socket,
+        stream: StreamState,
+        frame_index: int,
+        payload: bytes,
+        payload_crc: int | None = None,
     ) -> None:
         received_at = time.perf_counter()
         _obs.count("server.ingress")
@@ -355,6 +462,9 @@ class DbgcServer:
             _obs.count("server.duplicates")
             self._ack(conn, stream, frame_index, ACK_DUPLICATE)
             return
+        with self.lock:
+            self._writes_in_flight += 1
+        write_started = time.perf_counter()
         try:
             if self.mode == "decompress":
                 cloud = self._decompressor.decompress(payload)
@@ -368,11 +478,37 @@ class DbgcServer:
             self._quarantine(stream, frame_index, payload, exc, received_at)
             self._ack(conn, stream, frame_index, ACK_QUARANTINED)
             return
+        finally:
+            elapsed = time.perf_counter() - write_started
+            with self.lock:
+                self._writes_in_flight -= 1
+                self._store_ewma_s = (
+                    elapsed
+                    if self._store_ewma_s == 0.0
+                    else (1.0 - _STORE_EWMA_ALPHA) * self._store_ewma_s
+                    + _STORE_EWMA_ALPHA * elapsed
+                )
+            _obs.observe("server.store_write_s", elapsed)
         receipt = (frame_index, len(payload), received_at, time.perf_counter())
         with self.lock:
             stream.receipts.append(receipt)
             self.receipts.append(receipt)
         _obs.count("server.stored")
+        if self.journal is not None:
+            # Journal between the store commit and the ACK — textbook
+            # write-ahead ordering: any frame the client saw STORED has a
+            # receipt at least accepted by the journal.  Batched appends
+            # keep this off the syscall path (~one write per 16 frames),
+            # and doing it *before* the ACK runs it while the client is
+            # still blocked awaiting the ACK, so it never preempts the
+            # client's next send.  A kill can still drop up to one
+            # batch of un-drained receipts; that loses nothing the
+            # client can observe — a retransmission of such a frame is
+            # re-committed idempotently (same index, same payload)
+            # instead of being answered DUPLICATE.
+            if payload_crc is None:
+                payload_crc = zlib.crc32(payload)
+            self.journal.append_frame(stream.stream_id, frame_index, payload_crc)
         self._ack(conn, stream, frame_index, ACK_STORED)
 
     def _quarantine(
@@ -383,19 +519,40 @@ class DbgcServer:
         exc: BaseException,
         received_at: float,
     ) -> None:
+        evicted = False
         with self.lock:
             self.quarantine.append(
                 QuarantinedFrame(
                     frame_index, payload, repr(exc), received_at, stream.stream_id
                 )
             )
+            if len(self.quarantine) > self.max_quarantine:
+                # Bounded forensics: a hostile client spraying garbage
+                # cannot grow server memory without limit.
+                self.quarantine.pop(0)
+                self.quarantine_evicted += 1
+                evicted = True
         _obs.count("server.quarantined")
+        if evicted:
+            _obs.count("server.quarantine.evicted")
 
     def _channel_for(self, stream_id: int | str) -> FaultyChannel | None:
         channel = self.channel
         if channel is None or isinstance(channel, FaultyChannel):
             return channel
         return channel.get(stream_id)
+
+    def _busy_now(self) -> bool:
+        """Is the store falling behind?  (Feeds the ACK BUSY hint.)"""
+        if self.busy_threshold_s is None:
+            return False
+        with self.lock:
+            if self._store_ewma_s > self.busy_threshold_s:
+                return True
+            return (
+                self.busy_depth is not None
+                and self._writes_in_flight > self.busy_depth
+            )
 
     def _ack(
         self, conn: socket.socket, stream: StreamState, frame_index: int, status: int
@@ -407,8 +564,14 @@ class DbgcServer:
                 stream.ack_counts[frame_index] = ordinal + 1
             if channel.drop_ack(frame_index, ordinal):
                 return  # injected ACK loss; the client will retransmit
+        flags = status
+        if self._busy_now():
+            flags |= ACK_FLAG_BUSY
+            with self.lock:
+                self.busy_hints += 1
+            _obs.count("server.busy_hints")
         try:
-            conn.sendall(encode_record(TYPE_ACK, frame_index, flags=status))
+            conn.sendall(encode_record(TYPE_ACK, frame_index, flags=flags))
         except OSError:
             pass  # client already gone; it will retransmit on reconnect
 
@@ -444,8 +607,41 @@ class DbgcServer:
         """Wait until at least one stream ended and the server is idle."""
         self.wait_for_streams(1, timeout)
 
+    def kill(self) -> None:
+        """SIGKILL-equivalent stop: drop everything on the floor, now.
+
+        Unlike :meth:`close` this neither drains handler threads nor
+        waits for in-flight writes — connections are torn down and the
+        method returns immediately, modelling a process kill for the
+        restart drill.  In-memory state (dedupe sets, receipts) is
+        abandoned; only what reached the store and the receipt journal
+        survives.  A handler thread mid-``put`` may still complete its
+        (idempotent, index-keyed) store write and journal append after
+        this returns — exactly the torn timeline a real crash leaves.
+        """
+        self._stop.set()
+        self._listener.close()
+        with self.lock:
+            self._closed = True  # later close() is a no-op
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+        _obs.count("server.killed")
+
     def close(self) -> None:
-        """Stop serving: unblock the accept/recv loops and join the threads."""
+        """Stop serving: unblock the accept/recv loops and join the threads.
+
+        Idempotent — a second call (or a call after :meth:`kill`)
+        returns immediately.
+        """
+        with self.lock:
+            if self._closed:
+                return
+            self._closed = True
         self._stop.set()
         self._listener.close()
         with self.lock:
@@ -460,3 +656,5 @@ class DbgcServer:
             self._thread.join(5.0)
         with self._cond:
             self._cond.wait_for(lambda: self._active == 0, timeout=5.0)
+        if self._journal_owned and self.journal is not None:
+            self.journal.close()

@@ -1,4 +1,4 @@
-"""Server-side frame stores.
+"""Server-side frame stores, crash-safe.
 
 The paper's server either decompresses and processes frames or stores the
 compressed bit sequence directly; storage goes to files or to a relational
@@ -13,18 +13,44 @@ half-written row or trip sqlite's shared-cache errors), and
 :class:`ShardedFrameStore` spreads the index space over N independent
 stores so handlers landing on different shards do not serialize on one
 database at all.
+
+The durability tier adds a write-ahead commit path to every store
+(``durable=True``, the default):
+
+- :class:`FileFrameStore` writes each artifact to a same-directory tmp
+  file and renames it into place (the commit point), recording the
+  payload CRC-32 in a ``.crc`` sidecar *before* the payload rename — a
+  killed process leaves a tmp orphan, never a torn frame, and
+  :meth:`FileFrameStore.recover` deletes the orphans on the next open.
+- :class:`SqliteFrameStore` journals each write's intent (index, kind,
+  CRC) into a ``journal`` table committed *before* the frame row;
+  :meth:`SqliteFrameStore.recover` replays intents whose frame row
+  landed and rolls back the rest.
+- :class:`ShardedFrameStore` recovers each shard on open, can write
+  every frame to ``replication`` consecutive shards, and
+  :meth:`ShardedFrameStore.scrub` audits the replica CRCs — repairing a
+  corrupted or missing copy from a healthy one.
 """
 
 from __future__ import annotations
 
+import io
 import sqlite3
 import threading
+import zlib
 from pathlib import Path
 from typing import Iterable
 
 import numpy as np
 
 from repro.geometry.points import PointCloud
+from repro.observability import recorder as _obs
+from repro.system.durability import (
+    RecoveryReport,
+    ScrubDefect,
+    ScrubReport,
+    atomic_write_bytes,
+)
 
 __all__ = ["FileFrameStore", "SqliteFrameStore", "ShardedFrameStore"]
 
@@ -35,23 +61,81 @@ class FileFrameStore:
     Compressed payloads are stored verbatim (``.dbgc``); decompressed
     clouds as NPZ.  A frame index counts once even when both artifacts
     exist for it.
+
+    With ``durable=True`` (default) every artifact is committed by the
+    tmp-file + rename path of :func:`~repro.system.durability.
+    atomic_write_bytes` and payloads get a ``.crc`` sidecar recording
+    their CRC-32 (written first, so a visible payload always has its
+    checksum).  ``fsync=True`` additionally syncs each write to stable
+    storage.  :meth:`recover` runs on open and removes torn tmp files
+    and orphaned sidecars; the report lands in :attr:`last_recovery`.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(
+        self, root: str | Path, durable: bool = True, fsync: bool = False
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.durable = bool(durable)
+        self.fsync = bool(fsync)
+        self._closed = False
+        self.last_recovery = self.recover()
+
+    def _payload_path(self, frame_index: int) -> Path:
+        return self.root / f"frame_{frame_index:06d}.dbgc"
+
+    def _crc_path(self, frame_index: int) -> Path:
+        return self.root / f"frame_{frame_index:06d}.crc"
+
+    def recover(self) -> RecoveryReport:
+        """Roll back torn writes: delete tmp orphans and widowed sidecars."""
+        report = RecoveryReport()
+        for tmp in self.root.glob("frame_*.tmp"):
+            tmp.unlink()
+            report.rolled_back += 1
+        for crc in self.root.glob("frame_*.crc"):
+            if not crc.with_suffix(".dbgc").exists():
+                crc.unlink()
+                report.orphans_removed += 1
+        if report.rolled_back:
+            _obs.count("store.journal.rollbacks", report.rolled_back)
+        return report
 
     def put_payload(self, frame_index: int, payload: bytes) -> Path:
-        path = self.root / f"frame_{frame_index:06d}.dbgc"
-        path.write_bytes(payload)
+        path = self._payload_path(frame_index)
+        if self.durable:
+            # Sidecar first: a payload that became visible always has its
+            # CRC; the reverse orphan is cleaned up by recover().
+            atomic_write_bytes(
+                self._crc_path(frame_index),
+                f"{zlib.crc32(payload):08x}\n".encode(),
+                fsync=self.fsync,
+            )
+            atomic_write_bytes(path, payload, fsync=self.fsync)
+            _obs.count("store.journal.commits")
+        else:
+            path.write_bytes(payload)
         return path
 
     def get_payload(self, frame_index: int) -> bytes:
-        return (self.root / f"frame_{frame_index:06d}.dbgc").read_bytes()
+        return self._payload_path(frame_index).read_bytes()
+
+    def payload_crc(self, frame_index: int) -> int | None:
+        """The CRC-32 recorded at write time, or ``None`` if never recorded."""
+        try:
+            return int(self._crc_path(frame_index).read_text().strip(), 16)
+        except (OSError, ValueError):
+            return None
 
     def put_cloud(self, frame_index: int, cloud: PointCloud) -> Path:
         path = self.root / f"frame_{frame_index:06d}.npz"
-        np.savez_compressed(path, xyz=cloud.xyz)
+        if self.durable:
+            buffer = io.BytesIO()
+            np.savez_compressed(buffer, xyz=cloud.xyz)
+            atomic_write_bytes(path, buffer.getvalue(), fsync=self.fsync)
+            _obs.count("store.journal.commits")
+        else:
+            np.savez_compressed(path, xyz=cloud.xyz)
         return path
 
     def get_cloud(self, frame_index: int) -> PointCloud:
@@ -62,19 +146,31 @@ class FileFrameStore:
         """Sorted indices of every stored frame (dedupe/audit aid).
 
         Deduplicated by index: ``frame_N.dbgc`` and ``frame_N.npz``
-        together are still one frame.
+        together are still one frame.  CRC sidecars and tmp files are
+        metadata, not frames.
         """
-        return sorted({int(p.stem.split("_")[1]) for p in self.root.glob("frame_*")})
+        return sorted(
+            {
+                int(p.stem.split("_")[1])
+                for pattern in ("frame_*.dbgc", "frame_*.npz")
+                for p in self.root.glob(pattern)
+            }
+        )
 
     def total_payload_bytes(self) -> int:
         """Summed on-disk bytes of every stored artifact (audit aid)."""
-        return sum(p.stat().st_size for p in self.root.glob("frame_*"))
+        return sum(
+            p.stat().st_size
+            for pattern in ("frame_*.dbgc", "frame_*.npz")
+            for p in self.root.glob(pattern)
+        )
 
     def __len__(self) -> int:
         return len(self.frame_indices())
 
     def close(self) -> None:
-        """Files need no teardown; present for store-interface symmetry."""
+        """Idempotent; files need no teardown (store-interface symmetry)."""
+        self._closed = True
 
     def __enter__(self) -> "FileFrameStore":
         return self
@@ -91,10 +187,20 @@ class SqliteFrameStore:
     *other* kind (payload vs cloud) raises instead of silently replacing
     the row — only a same-kind overwrite (an idempotent retransmission)
     is allowed.
+
+    With ``durable=True`` (default) each write goes through a
+    write-ahead ``journal`` table: the intent (index, kind, CRC) commits
+    first, then the frame row and the intent's deletion commit together.
+    A crash between the two commits leaves the intent behind;
+    :meth:`recover` (run on open) replays intents whose frame row landed
+    and rolls back the rest.  Every row records its payload CRC-32 for
+    scrub audits.
     """
 
-    def __init__(self, path: str | Path = ":memory:") -> None:
+    def __init__(self, path: str | Path = ":memory:", durable: bool = True) -> None:
         self._lock = threading.Lock()
+        self.durable = bool(durable)
+        self._closed = False
         self._conn = sqlite3.connect(str(path), check_same_thread=False)
         with self._lock:
             self._conn.execute(
@@ -102,11 +208,57 @@ class SqliteFrameStore:
                 " frame_index INTEGER PRIMARY KEY,"
                 " kind TEXT NOT NULL,"
                 " n_points INTEGER NOT NULL,"
-                " data BLOB NOT NULL)"
+                " data BLOB NOT NULL,"
+                " crc32 INTEGER)"
             )
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS journal ("
+                " frame_index INTEGER PRIMARY KEY,"
+                " kind TEXT NOT NULL,"
+                " crc32 INTEGER NOT NULL)"
+            )
+            # Migrate pre-durability databases that lack the CRC column.
+            columns = {
+                row[1] for row in self._conn.execute("PRAGMA table_info(frames)")
+            }
+            if "crc32" not in columns:
+                self._conn.execute("ALTER TABLE frames ADD COLUMN crc32 INTEGER")
             self._conn.commit()
+        self.last_recovery = self.recover()
+
+    def recover(self) -> RecoveryReport:
+        """Resolve leftover journal intents: replay committed, roll back torn.
+
+        An intent whose frame row exists with the intended CRC committed
+        before the crash (only the intent's deletion was lost) — it is
+        *replayed* by clearing it.  Any other intent is *rolled back*:
+        the frame table still holds the pre-write state (SQLite
+        transactions are atomic), so dropping the intent restores it.
+        """
+        report = RecoveryReport()
+        with self._lock:
+            intents = self._conn.execute(
+                "SELECT frame_index, kind, crc32 FROM journal"
+            ).fetchall()
+            for frame_index, kind, crc in intents:
+                row = self._conn.execute(
+                    "SELECT kind, crc32 FROM frames WHERE frame_index = ?",
+                    (frame_index,),
+                ).fetchone()
+                if row is not None and row[0] == kind and row[1] == crc:
+                    report.replayed += 1
+                else:
+                    report.rolled_back += 1
+                self._conn.execute(
+                    "DELETE FROM journal WHERE frame_index = ?", (frame_index,)
+                )
+            self._conn.commit()
+        if report.rolled_back:
+            _obs.count("store.journal.rollbacks", report.rolled_back)
+        return report
 
     def _put(self, frame_index: int, kind: str, n_points: int, data: bytes) -> None:
+        crc = zlib.crc32(data)
         with self._lock:
             row = self._conn.execute(
                 "SELECT kind FROM frames WHERE frame_index = ?", (frame_index,)
@@ -116,11 +268,25 @@ class SqliteFrameStore:
                     f"frame {frame_index} is already stored as {row[0]!r}; "
                     f"refusing to replace it with a {kind!r}"
                 )
+            if self.durable:
+                # Phase 1: commit the intent.  Phase 2: the frame row and
+                # the intent's clearance commit atomically together.
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO journal VALUES (?, ?, ?)",
+                    (frame_index, kind, crc),
+                )
+                self._conn.commit()
             self._conn.execute(
-                "INSERT OR REPLACE INTO frames VALUES (?, ?, ?, ?)",
-                (frame_index, kind, n_points, data),
+                "INSERT OR REPLACE INTO frames VALUES (?, ?, ?, ?, ?)",
+                (frame_index, kind, n_points, data, crc),
             )
+            if self.durable:
+                self._conn.execute(
+                    "DELETE FROM journal WHERE frame_index = ?", (frame_index,)
+                )
             self._conn.commit()
+        if self.durable:
+            _obs.count("store.journal.commits")
 
     def put_payload(self, frame_index: int, payload: bytes, n_points: int = 0) -> None:
         self._put(frame_index, "payload", n_points, payload)
@@ -134,6 +300,15 @@ class SqliteFrameStore:
         if row is None:
             raise KeyError(f"no payload for frame {frame_index}")
         return row[0]
+
+    def payload_crc(self, frame_index: int) -> int | None:
+        """The CRC-32 recorded at write time, or ``None`` if never recorded."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT crc32 FROM frames WHERE frame_index = ? AND kind = 'payload'",
+                (frame_index,),
+            ).fetchone()
+        return None if row is None or row[0] is None else int(row[0])
 
     def put_cloud(self, frame_index: int, cloud: PointCloud) -> None:
         self._put(frame_index, "cloud", len(cloud), cloud.xyz.tobytes())
@@ -176,7 +351,11 @@ class SqliteFrameStore:
         self.close()
 
     def close(self) -> None:
+        """Idempotent: the first call closes the connection, later ones no-op."""
         with self._lock:
+            if self._closed:
+                return
+            self._closed = True
             self._conn.close()
 
 
@@ -188,72 +367,162 @@ class ShardedFrameStore:
     parallel while a single shard still serializes its own writes.  The
     routing is stateless and deterministic, so a concurrent fleet run and
     a serial replay of the same frames produce byte-identical shards.
+
+    ``replication=R`` writes every frame to the R consecutive shards
+    starting at its primary (``frame_index % n_shards``), so losing or
+    corrupting one copy is survivable: reads fall back to the next
+    healthy replica, and :meth:`scrub` audits all copies against their
+    recorded CRCs, repairing a bad copy from a healthy one.
     """
 
-    def __init__(self, shards: Iterable[FileFrameStore | SqliteFrameStore]) -> None:
+    def __init__(
+        self,
+        shards: Iterable[FileFrameStore | SqliteFrameStore],
+        replication: int = 1,
+    ) -> None:
         self.shards = list(shards)
         if not self.shards:
             raise ValueError("need at least one shard")
+        if not 1 <= replication <= len(self.shards):
+            raise ValueError(
+                f"replication must be in [1, {len(self.shards)}], got {replication}"
+            )
+        self.replication = int(replication)
         self._locks = [threading.Lock() for _ in self.shards]
+        self._closed = False
 
     @classmethod
     def sqlite(
-        cls, n_shards: int, directory: str | Path | None = None
+        cls,
+        n_shards: int,
+        directory: str | Path | None = None,
+        replication: int = 1,
+        durable: bool = True,
     ) -> "ShardedFrameStore":
         """N SQLite shards — in-memory, or ``shard_K.sqlite`` files under
         ``directory``."""
         if directory is None:
-            return cls(SqliteFrameStore() for _ in range(n_shards))
+            return cls(
+                (SqliteFrameStore(durable=durable) for _ in range(n_shards)),
+                replication=replication,
+            )
         root = Path(directory)
         root.mkdir(parents=True, exist_ok=True)
         return cls(
-            SqliteFrameStore(root / f"shard_{k}.sqlite") for k in range(n_shards)
+            (
+                SqliteFrameStore(root / f"shard_{k}.sqlite", durable=durable)
+                for k in range(n_shards)
+            ),
+            replication=replication,
         )
 
     @classmethod
-    def files(cls, n_shards: int, root: str | Path) -> "ShardedFrameStore":
+    def files(
+        cls,
+        n_shards: int,
+        root: str | Path,
+        replication: int = 1,
+        durable: bool = True,
+        fsync: bool = False,
+    ) -> "ShardedFrameStore":
         """N file-store shards under ``root/shard_K/``."""
         base = Path(root)
-        return cls(FileFrameStore(base / f"shard_{k}") for k in range(n_shards))
+        return cls(
+            (
+                FileFrameStore(base / f"shard_{k}", durable=durable, fsync=fsync)
+                for k in range(n_shards)
+            ),
+            replication=replication,
+        )
 
     @property
     def n_shards(self) -> int:
         return len(self.shards)
 
     def shard_for(self, frame_index: int) -> int:
-        """The shard number that owns ``frame_index``."""
+        """The primary shard number that owns ``frame_index``."""
         return frame_index % len(self.shards)
 
-    def put_payload(self, frame_index: int, payload: bytes):
-        k = self.shard_for(frame_index)
-        with self._locks[k]:
-            return self.shards[k].put_payload(frame_index, payload)
+    def replica_shards(self, frame_index: int) -> list[int]:
+        """All shard numbers holding a copy of ``frame_index``, primary first."""
+        primary = self.shard_for(frame_index)
+        return [(primary + r) % len(self.shards) for r in range(self.replication)]
 
-    def get_payload(self, frame_index: int) -> bytes:
-        k = self.shard_for(frame_index)
-        with self._locks[k]:
-            return self.shards[k].get_payload(frame_index)
-
-    def put_cloud(self, frame_index: int, cloud: PointCloud):
-        k = self.shard_for(frame_index)
-        with self._locks[k]:
-            return self.shards[k].put_cloud(frame_index, cloud)
-
-    def get_cloud(self, frame_index: int) -> PointCloud:
-        k = self.shard_for(frame_index)
-        with self._locks[k]:
-            return self.shards[k].get_cloud(frame_index)
-
-    def frame_indices(self) -> list[int]:
-        """Sorted indices over all shards."""
-        indices: list[int] = []
+    def recover(self) -> RecoveryReport:
+        """Run every shard's recovery pass and merge the reports."""
+        report = RecoveryReport()
         for lock, shard in zip(self._locks, self.shards):
             with lock:
-                indices.extend(shard.frame_indices())
+                report.merge(shard.recover())
+        return report
+
+    def put_payload(self, frame_index: int, payload: bytes):
+        result = None
+        for k in self.replica_shards(frame_index):
+            with self._locks[k]:
+                written = self.shards[k].put_payload(frame_index, payload)
+            if result is None:
+                result = written
+        return result
+
+    def get_payload(self, frame_index: int) -> bytes:
+        """Read the primary copy, falling back to healthy replicas.
+
+        A copy is skipped when it is missing or when its bytes no longer
+        match the CRC recorded at write time (on-disk corruption).
+        """
+        last_error: Exception | None = None
+        for k in self.replica_shards(frame_index):
+            shard = self.shards[k]
+            with self._locks[k]:
+                try:
+                    payload = shard.get_payload(frame_index)
+                except (KeyError, OSError) as exc:
+                    last_error = exc
+                    continue
+                crc = shard.payload_crc(frame_index)
+            if crc is None or zlib.crc32(payload) == crc:
+                return payload
+            last_error = ValueError(
+                f"frame {frame_index}: shard {k} copy fails its CRC"
+            )
+        if last_error is not None:
+            raise last_error
+        raise KeyError(f"no payload for frame {frame_index}")
+
+    def put_cloud(self, frame_index: int, cloud: PointCloud):
+        result = None
+        for k in self.replica_shards(frame_index):
+            with self._locks[k]:
+                written = self.shards[k].put_cloud(frame_index, cloud)
+            if result is None:
+                result = written
+        return result
+
+    def get_cloud(self, frame_index: int) -> PointCloud:
+        last_error: Exception | None = None
+        for k in self.replica_shards(frame_index):
+            with self._locks[k]:
+                try:
+                    return self.shards[k].get_cloud(frame_index)
+                except (KeyError, OSError) as exc:
+                    last_error = exc
+        raise last_error if last_error is not None else KeyError(frame_index)
+
+    def frame_indices(self) -> list[int]:
+        """Sorted indices over all shards (each frame once, replicas deduped)."""
+        indices: set[int] = set()
+        for lock, shard in zip(self._locks, self.shards):
+            with lock:
+                indices.update(shard.frame_indices())
         return sorted(indices)
 
     def shard_payload_bytes(self) -> list[int]:
-        """Stored bytes per shard, in shard order (accounting audits)."""
+        """Stored bytes per shard, in shard order (accounting audits).
+
+        With ``replication > 1`` replica copies count on their shard too
+        — the audit is of on-disk bytes, not logical frames.
+        """
         totals = []
         for lock, shard in zip(self._locks, self.shards):
             with lock:
@@ -263,8 +532,76 @@ class ShardedFrameStore:
     def total_payload_bytes(self) -> int:
         return sum(self.shard_payload_bytes())
 
+    # -- replica audit -------------------------------------------------
+
+    def scrub(self, repair: bool = True) -> ScrubReport:
+        """Audit every replica copy's CRC; optionally repair bad copies.
+
+        A copy is *healthy* when its bytes match the CRC recorded at
+        write time (or, for copies written without CRCs, when they match
+        the byte-majority of that frame's copies).  With ``repair=True``
+        a missing or corrupt copy is rewritten from a healthy one —
+        the repair goes through the shard's durable put path, so it
+        re-records the CRC.  Frames stored as clouds (no payload rows)
+        are skipped: the audit covers the compressed-payload tier.
+        """
+        report = ScrubReport()
+        for frame_index in self.frame_indices():
+            copies: dict[int, bytes | None] = {}
+            crcs: dict[int, int | None] = {}
+            for k in self.replica_shards(frame_index):
+                shard = self.shards[k]
+                with self._locks[k]:
+                    try:
+                        copies[k] = shard.get_payload(frame_index)
+                    except (KeyError, OSError):
+                        copies[k] = None
+                    crcs[k] = shard.payload_crc(frame_index)
+            if all(payload is None for payload in copies.values()):
+                continue  # a cloud-kind frame, or outside the payload tier
+            report.frames_checked += 1
+            # CRC-verified copies, primary first (dict order = replica order).
+            healthy = {
+                k: payload
+                for k, payload in copies.items()
+                if payload is not None
+                and crcs[k] is not None
+                and zlib.crc32(payload) == crcs[k]
+            }
+            if not healthy:
+                # Legacy copies without recorded CRCs: trust the byte
+                # majority among them (undecidable with a 1-1 split).
+                candidates = [p for p in copies.values() if p is not None]
+                counts = {p: candidates.count(p) for p in set(candidates)}
+                winner = max(counts, key=lambda p: counts[p])
+                if counts[winner] > len(candidates) - counts[winner]:
+                    healthy = {
+                        k: p for k, p in copies.items() if p == winner
+                    }
+            # The repair source: the primary-most healthy copy.  Healthy
+            # copies that diverge from it (each CRC-consistent, bytes
+            # different — a write torn between replicas) converge onto it.
+            reference = next(iter(healthy.values()), None)
+            for k, payload in copies.items():
+                crc_ok = k in healthy or crcs[k] is None
+                if payload is not None and payload == reference and crc_ok:
+                    report.copies_healthy += 1
+                    continue
+                kind = "missing" if payload is None else "corrupt"
+                repaired = False
+                if repair and reference is not None:
+                    with self._locks[k]:
+                        self.shards[k].put_payload(frame_index, reference)
+                    repaired = True
+                    _obs.count("store.scrub.repaired")
+                _obs.count(f"store.scrub.{kind}")
+                report.defects.append(
+                    ScrubDefect(frame_index, k, kind, repaired=repaired)
+                )
+        return report
+
     def __len__(self) -> int:
-        return sum(len(s) for s in self.shards)
+        return len(self.frame_indices())
 
     def __enter__(self) -> "ShardedFrameStore":
         return self
@@ -273,6 +610,10 @@ class ShardedFrameStore:
         self.close()
 
     def close(self) -> None:
+        """Idempotent: closes every shard once."""
+        if self._closed:
+            return
+        self._closed = True
         for lock, shard in zip(self._locks, self.shards):
             with lock:
                 shard.close()
