@@ -6,6 +6,7 @@ Subcommands:
 - ``decompress`` — .dbgc stream -> point cloud file
 - ``info``       — inspect a .dbgc stream's header and layout
 - ``simulate``   — generate a synthetic frame into a point cloud file
+- ``sequence``   — compress a simulated drive into a .dbgcs frame stream
 - ``dataset``    — create/inspect a KITTI-layout archive of frames
 - ``verify``     — validate a .dbgc stream (optionally against the original)
 - ``reproduce``  — re-run one of the paper's tables/figures
@@ -25,8 +26,6 @@ import contextlib
 import sys
 import time
 from pathlib import Path
-
-import numpy as np
 
 from repro.core.container import unpack_container
 from repro.core.params import DBGCParams
@@ -170,6 +169,58 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     _save_cloud(cloud, Path(args.output))
     print(f"{args.scene} frame {args.frame}: {len(cloud)} points -> {args.output}")
+    return 0
+
+
+def _cmd_sequence(args: argparse.Namespace) -> int:
+    from repro.core.streaming import FrameStreamReader, FrameStreamWriter
+    from repro.datasets import trajectories
+
+    sensor = _sensor_from_args(args)
+    builders = {
+        "straight": trajectories.straight,
+        "curve": trajectories.curve,
+        "loop": trajectories.loop,
+    }
+    traj = builders[args.trajectory](args.frames)
+    params = DBGCParams(
+        q_xyz=args.q,
+        temporal=args.temporal,
+        keyframe_interval=args.keyframe_interval,
+    )
+    frames = trajectories.generate_sequence(
+        args.scene, traj, sensor=sensor, seed=args.seed
+    )
+    start = time.perf_counter()
+    with open(args.output, "wb") as sink:
+        with FrameStreamWriter(sink, params, sensor=sensor) as writer:
+            for index, cloud in enumerate(frames):
+                size = writer.write_frame(cloud, ego_position=traj[index])
+                kind = (
+                    "delta"
+                    if args.temporal and index % args.keyframe_interval != 0
+                    else "key"
+                )
+                print(f"frame {index}: {len(cloud)} points -> {size} B ({kind})")
+    elapsed = time.perf_counter() - start
+    stats = writer.stats
+    print(
+        f"{args.output}: {stats.n_frames} frames, "
+        f"{stats.total_compressed_bytes} bytes "
+        f"({stats.compression_ratio:.1f}x) in {elapsed:.2f}s"
+    )
+    print(
+        f"  mean bandwidth at {sensor.frames_per_second:.1f} fps: "
+        f"{stats.bandwidth_mbps(sensor.frames_per_second):.2f} Mbps"
+    )
+    if args.verify:
+        with open(args.output, "rb") as source:
+            decoded = list(FrameStreamReader(source))
+        if len(decoded) != stats.n_frames:
+            print(f"verify FAILED: {len(decoded)}/{stats.n_frames} frames decoded")
+            return 1
+        total = sum(len(c) for c in decoded)
+        print(f"  verified: {len(decoded)} frames decode back to {total} points")
     return 0
 
 
@@ -526,6 +577,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0, help="scene random seed")
     _add_sensor_arg(p)
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "sequence", help="compress a simulated drive into a .dbgcs frame stream"
+    )
+    p.add_argument("scene", choices=sorted(SCENE_BUILDERS), help="scene name")
+    p.add_argument("output", help="output .dbgcs frame stream")
+    p.add_argument(
+        "--trajectory",
+        default="straight",
+        choices=["straight", "curve", "loop"],
+        help="drive path shape (default straight)",
+    )
+    p.add_argument("--frames", type=int, default=8, help="frames to capture")
+    p.add_argument("--q", type=float, default=0.02, help="error bound in meters")
+    p.add_argument(
+        "--temporal",
+        action="store_true",
+        help="inter-frame delta coding (format v3) between keyframes",
+    )
+    p.add_argument(
+        "--keyframe-interval",
+        type=int,
+        default=8,
+        metavar="N",
+        help="intra-coded keyframe period in temporal mode (default 8)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="scene random seed")
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="decode the written stream back and check the frame count",
+    )
+    _add_sensor_arg(p)
+    p.set_defaults(func=_cmd_sequence)
 
     p = sub.add_parser("dataset", help="create or inspect a frame archive")
     p.add_argument("action", choices=["create", "info"])

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.entropy.arithmetic import decode_int_sequence
 from repro.entropy.backend import (
     EntropyBackend,
     decode_tagged_ints,
@@ -73,8 +74,11 @@ def encode_attributes(
     return bytes(out)
 
 
-def decode_attributes(data: bytes) -> dict[str, np.ndarray]:
-    """Inverse of :func:`encode_attributes`; values in decoded point order."""
+def decode_attributes(data: bytes, version: int = 2) -> dict[str, np.ndarray]:
+    """Inverse of :func:`encode_attributes`; values in decoded point order.
+
+    ``version=1`` reads the legacy checksum-less delta streams.
+    """
     if not data:
         return {}
     n_attrs, pos = decode_uvarint(data, 0)
@@ -86,7 +90,10 @@ def decode_attributes(data: bytes) -> dict[str, np.ndarray]:
         step = float(np.frombuffer(data, dtype=np.float64, count=1, offset=pos)[0])
         pos += 8
         size, pos = decode_uvarint(data, pos)
-        deltas = decode_tagged_ints(data[pos : pos + size])
+        if version == 1:
+            deltas = decode_int_sequence(data[pos : pos + size], checksum=False)
+        else:
+            deltas = decode_tagged_ints(data[pos : pos + size])
         pos += size
         attributes[name] = np.cumsum(deltas).astype(np.float64) * step
     return attributes

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.params import DBGCParams
+from repro.entropy.arithmetic import decode_int_sequence
 from repro.entropy.backend import decode_tagged_ints, encode_tagged_ints
 from repro.entropy.varint import decode_uvarint, encode_uvarint
 from repro.octree.codec import OctreeCodec
@@ -56,8 +57,12 @@ def encode_outliers(
     return bytes(out), np.arange(n, dtype=np.int64)
 
 
-def decode_outliers(payload: bytes, params: DBGCParams) -> np.ndarray:
-    """Inverse of :func:`encode_outliers`; points in codec order."""
+def decode_outliers(payload: bytes, params: DBGCParams, version: int = 2) -> np.ndarray:
+    """Inverse of :func:`encode_outliers`; points in codec order.
+
+    ``version=1`` selects the legacy sub-codec layouts (checksum-less z
+    stream, raw arithmetic quadtree occupancy).
+    """
     if not payload:
         raise ValueError("empty outlier payload")
     mode = _MODE_NAMES.get(payload[0])
@@ -69,14 +74,17 @@ def decode_outliers(payload: bytes, params: DBGCParams) -> np.ndarray:
     if mode == "quadtree":
         tree_size, pos = decode_uvarint(payload, pos)
         codec = QuadtreeCodec(params.leaf_side)
-        xy = codec.decode(payload[pos : pos + tree_size])
+        xy = codec.decode(payload[pos : pos + tree_size], version=version)
         pos += tree_size
-        z_ints = np.cumsum(decode_tagged_ints(payload[pos:]))
+        if version == 1:
+            z_ints = np.cumsum(decode_int_sequence(payload[pos:], checksum=False))
+        else:
+            z_ints = np.cumsum(decode_tagged_ints(payload[pos:]))
         if len(z_ints) != len(xy):
             raise ValueError("outlier z stream does not match quadtree")
         return np.column_stack([xy, z_ints.astype(np.float64) * params.leaf_side])
     if mode == "octree":
-        return OctreeCodec(params.leaf_side).decode(payload[pos:])
+        return OctreeCodec(params.leaf_side).decode(payload[pos:], version=version)
     return (
         np.frombuffer(payload, dtype="<f4", count=3 * n, offset=pos)
         .reshape(n, 3)

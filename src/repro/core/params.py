@@ -87,6 +87,18 @@ class DBGCParams:
         (default) keeps the serial path; higher values run the stages on a
         process-wide shared pool.  Payloads are byte-identical either way.
         Runtime-only: not serialized into the container header.
+    temporal:
+        Enable inter-frame delta coding for stream compression
+        (:mod:`repro.core.temporal`, format v3): non-keyframes reuse the
+        previous frame's decoded geometry as predictors.  Single-frame
+        :meth:`~repro.core.pipeline.DBGCCompressor.compress` is unaffected.
+        Runtime-only: the frame type travels in the container version byte.
+    keyframe_interval:
+        Period of intra-coded keyframes in a temporal stream (default 8):
+        frame ``i`` is a keyframe when ``i % keyframe_interval == 0``.
+        Keyframes are byte-identical to independent (v2) coding and reset
+        all predictor state, bounding loss propagation and giving readers
+        a seek/recovery point.
     """
 
     q_xyz: float = 0.02
@@ -105,6 +117,8 @@ class DBGCParams:
     strict_cartesian: bool = False
     entropy_backend: str = "adaptive-arith"
     intra_frame_workers: int = 1
+    temporal: bool = False
+    keyframe_interval: int = 8
 
     def __post_init__(self) -> None:
         if self.q_xyz <= 0:
@@ -133,6 +147,10 @@ class DBGCParams:
         if self.intra_frame_workers < 1:
             raise ValueError(
                 f"intra_frame_workers must be >= 1, got {self.intra_frame_workers}"
+            )
+        if self.keyframe_interval < 1:
+            raise ValueError(
+                f"keyframe_interval must be >= 1, got {self.keyframe_interval}"
             )
 
     # -- derived values -----------------------------------------------------------

@@ -151,6 +151,39 @@ class DBGCCompressor:
         """
         return self.compress_detailed(cloud, attributes, attribute_steps).payload
 
+    def compress_temporal(
+        self,
+        cloud: PointCloud,
+        context,
+        ego_delta=(0.0, 0.0, 0.0),
+        attributes: dict[str, np.ndarray] | None = None,
+        attribute_steps: dict[str, float] | float = DEFAULT_ATTRIBUTE_STEP,
+    ) -> CompressionResult:
+        """Compress one frame of a temporal stream against ``context``.
+
+        ``context`` is a :class:`repro.core.temporal.TemporalContext`
+        advanced across calls.  Frame ``i`` is an intra keyframe when
+        ``i % keyframe_interval == 0`` (or whenever the context has no
+        predictor state yet); other frames are format-v3 delta frames
+        coded against the previous frame's decoded geometry.
+        ``ego_delta`` is the sensor translation since the previous frame
+        (meters); ``(0, 0, 0)`` disables motion compensation but stays
+        correct.
+        """
+        from repro.core import temporal
+
+        keyframe = (
+            not context.has_state
+            or context.frames_coded % self.params.keyframe_interval == 0
+        )
+        if keyframe:
+            result = self.compress_detailed(cloud, attributes, attribute_steps)
+            temporal.observe_intra(context, result.payload)
+            return result
+        return temporal.compress_delta(
+            self, cloud, context, ego_delta, attributes, attribute_steps
+        )
+
     def compress_detailed(
         self,
         cloud: PointCloud,
@@ -335,8 +368,8 @@ class DBGCDecompressor:
     ) -> tuple[PointCloud, dict[str, np.ndarray]]:
         """Decompress geometry plus the attribute block (decoded order)."""
         cloud, _ = self.decompress_detailed(data)
-        _, _, _, _, attribute_payload = unpack_container(data)
-        return cloud, decode_attributes(attribute_payload)
+        header, _, _, _, attribute_payload = unpack_container(data)
+        return cloud, decode_attributes(attribute_payload, version=header.version)
 
     def decompress_detailed(self, data: bytes) -> tuple[PointCloud, dict[str, float]]:
         """Decompress and report per-component wall-clock times.
@@ -349,20 +382,31 @@ class DBGCDecompressor:
             header, dense_payload, group_payloads, outlier_payload, _ = unpack_container(
                 data
             )
+            if header.is_delta:
+                raise ValueError(
+                    "cannot decompress a delta frame (format v3) standalone; "
+                    "feed the stream through repro.core.temporal.TemporalDecoder"
+                )
             params = header.to_params()
+            version = header.version
 
             with recorder.span("dbgc.oct"):
-                dense = OctreeCodec(params.leaf_side).decode(dense_payload)
+                dense = OctreeCodec(params.leaf_side).decode(
+                    dense_payload, version=version
+                )
 
             with recorder.span("dbgc.spa"):
                 chunks = [dense]
                 for payload in group_payloads:
                     chunks.append(
-                        decode_sparse_group(payload, params, header.u_theta, header.u_phi)
+                        decode_sparse_group(
+                            payload, params, header.u_theta, header.u_phi,
+                            version=version,
+                        )
                     )
 
             with recorder.span("dbgc.out"):
-                chunks.append(decode_outliers(outlier_payload, params))
+                chunks.append(decode_outliers(outlier_payload, params, version=version))
             cloud = PointCloud(np.vstack(chunks))
             recorder.count("decompress.points_out", len(cloud))
 

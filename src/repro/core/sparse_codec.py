@@ -30,6 +30,7 @@ import numpy as np
 
 from repro import observability as obs
 from repro.core.params import DBGCParams
+from repro.entropy.arithmetic import arithmetic_decode, decode_int_sequence
 from repro.core.polyline import organize_polylines
 from repro.core.reference import (
     decode_radial,
@@ -142,14 +143,28 @@ def _pack_stream(
 
 
 def _unpack_stream(
-    data: bytes, count: int, preferred: EntropyBackend | None = None
+    data: bytes,
+    count: int,
+    preferred: EntropyBackend | None = None,
+    version: int = 2,
 ) -> np.ndarray:
-    """Inverse of :func:`_pack_stream`."""
+    """Inverse of :func:`_pack_stream`.
+
+    ``version=1`` reads the legacy layout, where mode byte 1 was a
+    checksum-less arithmetic int sequence rather than a backend tag.
+    """
     if not data:
         raise ValueError("empty entropy stream")
     mode, payload = data[0], data[1:]
     if mode == _STREAM_DEFLATE:
         return decode_varints(deflate_decompress(payload), count, signed=True)
+    if version == 1:
+        if mode != 1:
+            raise ValueError(f"unknown stream mode byte {mode}")
+        values = decode_int_sequence(payload, checksum=False)
+        if values.size != count:
+            raise ValueError("entropy stream count mismatch")
+        return values
     try:
         backend = resolve_tag(mode - 1, preferred)
     except ValueError:
@@ -321,11 +336,14 @@ def decode_sparse_group(
     params: DBGCParams,
     u_theta: float,
     u_phi: float,
+    version: int = 2,
 ) -> np.ndarray:
     """Decode one group payload back to Cartesian coordinates.
 
     Points come back in stored polyline order (matching
-    :attr:`GroupEncoding.order` on the encoder side).
+    :attr:`GroupEncoding.order` on the encoder side).  ``version=1``
+    selects the legacy stream layouts (checksum-less int sequences, raw
+    arithmetic ``L_ref``), so v1 containers decode bit-identically.
     """
     n_points, pos = decode_uvarint(payload, 0)
     if n_points == 0:
@@ -338,30 +356,38 @@ def decode_sparse_group(
     )
 
     stream, pos = _read_stream(payload, pos)
-    lengths = decode_tagged_ints(stream).tolist()
+    if version == 1:
+        lengths = decode_int_sequence(stream, checksum=False).tolist()
+    else:
+        lengths = decode_tagged_ints(stream).tolist()
     if len(lengths) != n_lines or sum(lengths) != n_points:
         raise ValueError("corrupt sparse group: length stream mismatch")
 
     n_tail = n_points - n_lines
     stream, pos = _read_stream(payload, pos)
-    d1_heads = _unpack_stream(stream, n_lines)
+    d1_heads = _unpack_stream(stream, n_lines, version=version)
     stream, pos = _read_stream(payload, pos)
-    d1_tails = _unpack_stream(stream, n_tail)
+    d1_tails = _unpack_stream(stream, n_tail, version=version)
     lines_d1 = _rebuild_lines(d1_heads, d1_tails, lengths)
 
     stream, pos = _read_stream(payload, pos)
-    d2_heads = _unpack_stream(stream, n_lines)
+    d2_heads = _unpack_stream(stream, n_lines, version=version)
     stream, pos = _read_stream(payload, pos)
-    d2_tails = _unpack_stream(stream, n_tail)
+    d2_tails = _unpack_stream(stream, n_tail, version=version)
     lines_d2 = _rebuild_lines(d2_heads, d2_tails, lengths)
 
     stream, pos = _read_stream(payload, pos)
-    nabla = decode_tagged_ints(stream)
+    if version == 1:
+        nabla = decode_int_sequence(stream, checksum=False)
+    else:
+        nabla = decode_tagged_ints(stream)
     ref_stream, pos = _read_stream(payload, pos)
     n_symbols, ref_pos = decode_uvarint(ref_stream, 0)
 
     if params.spherical_conversion and params.radial_reference:
-        if n_symbols:
+        if version == 1:
+            symbols = arithmetic_decode(ref_stream[ref_pos:], n_symbols, 4)
+        elif n_symbols:
             symbols = decode_tagged_symbols(ref_stream[ref_pos:], n_symbols, 4)
         else:
             symbols = np.empty(0, dtype=np.int64)

@@ -3,14 +3,23 @@
 The paper scopes itself to single-frame compression and notes it "can be a
 building block in compressing point cloud streams" (Section 1).  This
 module is that building block's container: a stream file holds a header and
-a sequence of independently decodable DBGC frames, so a receiver can seek,
-drop, or late-join — the right trade-off for lossy transports like the
-paper's 4G uplink.
+a sequence of DBGC frames.  By default every frame is independently
+decodable, so a receiver can seek, drop, or late-join — the right trade-off
+for lossy transports like the paper's 4G uplink.  With
+``DBGCParams(temporal=True)`` non-keyframes are delta-coded against the
+previous frame (format v3, :mod:`repro.core.temporal`); the periodic
+keyframes then carry the seek/late-join property for the whole stream.
 
 Stream layout::
 
     b"DBGS" | version u8 | uvarint n_frames (0 = unknown/append mode)
     per frame: uvarint payload_size | payload (a standalone DBGC stream)
+
+On a seekable sink the writer reserves a fixed-width (3-byte, non-canonical
+LEB128) slot for ``n_frames`` and backpatches the real count on
+:meth:`FrameStreamWriter.close`; on pipes the canonical single zero byte is
+kept and the count stays "unknown".  Both encodings are valid LEB128, so
+readers are unaffected.
 """
 
 from __future__ import annotations
@@ -21,8 +30,10 @@ from typing import BinaryIO, Iterable, Iterator
 
 import numpy as np
 
+from repro.core.container import container_version
 from repro.core.params import DBGCParams
-from repro.core.pipeline import DBGCCompressor, DBGCDecompressor
+from repro.core.pipeline import DBGCCompressor
+from repro.core.temporal import KEYFRAME_MAX_VERSION, TemporalContext, TemporalDecoder
 from repro.datasets.sensors import SensorModel
 from repro.entropy.varint import encode_uvarint
 from repro.geometry.points import PointCloud
@@ -31,6 +42,10 @@ __all__ = ["StreamStats", "FrameStreamWriter", "FrameStreamReader", "compress_st
 
 _MAGIC = b"DBGS"
 _VERSION = 1
+#: Offset of the n_frames varint relative to the stream header start.
+_COUNT_OFFSET = len(_MAGIC) + 1
+#: Largest frame count the 3-byte backpatch slot can represent.
+_COUNT_MAX = (1 << 21) - 1
 
 
 @dataclass
@@ -43,10 +58,12 @@ class StreamStats:
     total_compressed_bytes: int = 0
     frame_sizes: list[int] = field(default_factory=list)
 
-    def record(self, n_points: int, payload_size: int) -> None:
+    def record(self, n_points: int, payload_size: int, n_attributes: int = 0) -> None:
+        """Account one frame: raw size is xyz (3 x f32) plus any per-point
+        attribute channels (f32 each) actually carried by the payload."""
         self.n_frames += 1
         self.total_points += n_points
-        self.total_raw_bytes += n_points * 12
+        self.total_raw_bytes += n_points * (12 + 4 * n_attributes)
         self.total_compressed_bytes += payload_size
         self.frame_sizes.append(payload_size)
 
@@ -93,7 +110,21 @@ def _read_uvarint(stream: BinaryIO, first: bytes | None = None) -> int:
 
 
 class FrameStreamWriter:
-    """Append compressed frames to a binary stream."""
+    """Append compressed frames to a binary stream.
+
+    With ``params.temporal`` enabled, the writer holds the inter-frame
+    predictor state (:class:`~repro.core.temporal.TemporalContext`) and
+    routes every frame through
+    :meth:`~repro.core.pipeline.DBGCCompressor.compress_temporal`: frame
+    ``i`` is an independently decodable keyframe when
+    ``i % keyframe_interval == 0``, otherwise a v3 delta frame predicted
+    from frame ``i - 1``.  Pass each frame's ``ego_position`` so deltas can
+    motion-compensate the sensor's travel.
+
+    Use as a context manager (or call :meth:`close`) so the stream header's
+    frame count is backpatched on seekable sinks; the sink itself is never
+    closed by the writer.
+    """
 
     def __init__(
         self,
@@ -104,26 +135,121 @@ class FrameStreamWriter:
         self._sink = sink
         self.compressor = DBGCCompressor(params, sensor=sensor)
         self.stats = StreamStats()
+        self._closed = False
+        self._temporal_context = (
+            TemporalContext() if self.compressor.params.temporal else None
+        )
+        self._prev_position: tuple[float, ...] | None = None
+        try:
+            self._seekable = bool(sink.seekable())
+        except (AttributeError, OSError):
+            self._seekable = False
+        self._header_start = sink.tell() if self._seekable else 0
         header = bytearray(_MAGIC)
         header.append(_VERSION)
-        encode_uvarint(0, header)  # append mode: reader counts frames itself
+        if self._seekable:
+            # Reserve a fixed-width slot for the frame count: a padded
+            # (non-canonical but valid) LEB128 zero that close() rewrites
+            # in place.  Its terminal byte is 0x00, so the header still
+            # ends at the first zero byte exactly like the canonical form.
+            header.extend(b"\x80\x80\x00")
+        else:
+            encode_uvarint(0, header)  # append mode: reader counts frames
         self._sink.write(bytes(header))
 
     def write_frame(
-        self, cloud: PointCloud, attributes: dict[str, np.ndarray] | None = None
+        self,
+        cloud: PointCloud,
+        attributes: dict[str, np.ndarray] | None = None,
+        ego_position: tuple[float, ...] | None = None,
     ) -> int:
-        """Compress and append one frame; returns the payload size."""
-        payload = self.compressor.compress(cloud, attributes=attributes)
+        """Compress and append one frame; returns the payload size.
+
+        ``ego_position`` is the sensor's world position when the frame was
+        captured ((x, y) or (x, y, z), meters).  It is only used in
+        temporal mode, where consecutive positions give the ego-motion
+        delta that motion-compensates the previous frame's geometry;
+        omitting it falls back to a zero delta (still correct, just a
+        weaker predictor).
+        """
+        if self._closed:
+            raise ValueError("stream writer is closed")
+        if self._temporal_context is not None:
+            payload = self._compress_temporal(cloud, attributes, ego_position)
+        else:
+            payload = self.compressor.compress(cloud, attributes=attributes)
         size_prefix = bytearray()
         encode_uvarint(len(payload), size_prefix)
         self._sink.write(bytes(size_prefix))
         self._sink.write(payload)
-        self.stats.record(len(cloud), len(payload))
+        self.stats.record(
+            len(cloud), len(payload), n_attributes=len(attributes) if attributes else 0
+        )
         return len(payload)
+
+    def _compress_temporal(
+        self,
+        cloud: PointCloud,
+        attributes: dict[str, np.ndarray] | None,
+        ego_position: tuple[float, ...] | None,
+    ) -> bytes:
+        ego_delta = (0.0, 0.0, 0.0)
+        if ego_position is not None and self._prev_position is not None:
+            prev = self._prev_position
+            ego_delta = (
+                float(ego_position[0]) - float(prev[0]),
+                float(ego_position[1]) - float(prev[1]),
+                (float(ego_position[2]) - float(prev[2]))
+                if len(ego_position) > 2 and len(prev) > 2
+                else 0.0,
+            )
+        if ego_position is not None:
+            self._prev_position = tuple(float(v) for v in ego_position)
+        result = self.compressor.compress_temporal(
+            cloud, self._temporal_context, ego_delta=ego_delta, attributes=attributes
+        )
+        return result.payload
+
+    def close(self) -> None:
+        """Finalize the stream: backpatch ``n_frames`` on seekable sinks.
+
+        Idempotent, and never closes the underlying sink (the caller may
+        be writing more than one stream, or own a socket).  On
+        non-seekable sinks this is a no-op and the declared count stays 0
+        (unknown), which readers already handle by counting frames.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if not self._seekable:
+            return
+        n = self.stats.n_frames
+        if n > _COUNT_MAX:
+            return  # slot too small; leave the count "unknown"
+        patched = bytes(
+            [0x80 | (n & 0x7F), 0x80 | ((n >> 7) & 0x7F), (n >> 14) & 0x7F]
+        )
+        end = self._sink.tell()
+        self._sink.seek(self._header_start + _COUNT_OFFSET)
+        self._sink.write(patched)
+        self._sink.seek(end)
+
+    def __enter__(self) -> "FrameStreamWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class FrameStreamReader:
-    """Iterate the frames of a stream written by :class:`FrameStreamWriter`."""
+    """Iterate the frames of a stream written by :class:`FrameStreamWriter`.
+
+    Decoding is stateful: payloads run through a
+    :class:`~repro.core.temporal.TemporalDecoder`, so streams containing v3
+    delta frames decode transparently, while purely intra (v1/v2) streams
+    behave exactly as before.  ``n_frames`` exposes the header's declared
+    count (0 when the writer could not backpatch it).
+    """
 
     def __init__(self, source: BinaryIO) -> None:
         self._source = source
@@ -133,8 +259,8 @@ class FrameStreamReader:
         version = source.read(1)
         if not version or version[0] != _VERSION:
             raise ValueError("unsupported stream version")
-        _read_uvarint(source)  # declared frame count (informational)
-        self._decompressor = DBGCDecompressor()
+        self.n_frames = _read_uvarint(source)  # declared count (0 = unknown)
+        self._decoder = TemporalDecoder()
 
     def payloads(self) -> Iterator[bytes]:
         """Yield raw per-frame payloads without decompressing."""
@@ -150,9 +276,25 @@ class FrameStreamReader:
                 raise ValueError("truncated frame payload")
             yield payload
 
-    def __iter__(self) -> Iterator[PointCloud]:
+    def frames(self, recover: bool = False) -> Iterator[PointCloud]:
+        """Decode the stream's frames in order.
+
+        ``recover=True`` is the late-join/seek mode: delta frames are
+        skipped (their predictor — the preceding frame — is not available)
+        until the first keyframe, identified by its container version byte,
+        then decoding proceeds statefully.  This is how a reader resumes
+        after dropping into the middle of a temporal stream.
+        """
+        waiting = recover
         for payload in self.payloads():
-            yield self._decompressor.decompress(payload)
+            if waiting:
+                if container_version(payload) > KEYFRAME_MAX_VERSION:
+                    continue  # delta frame: undecodable without its predecessor
+                waiting = False
+            yield self._decoder.decode(payload)
+
+    def __iter__(self) -> Iterator[PointCloud]:
+        return self.frames()
 
 
 def compress_stream(
@@ -165,14 +307,15 @@ def compress_stream(
     Each item is either a bare :class:`PointCloud` or a
     ``(cloud, attributes)`` pair; attributes ride inside the per-frame
     payload exactly as with :meth:`FrameStreamWriter.write_frame`, so the
-    blob is byte-identical to writing the same frames through a writer.
+    blob is byte-identical to writing the same frames through a writer
+    (and closing it — the blob's header carries the backpatched count).
     """
     buffer = io.BytesIO()
-    writer = FrameStreamWriter(buffer, params=params, sensor=sensor)
-    for item in frames:
-        if isinstance(item, tuple):
-            cloud, attributes = item
-            writer.write_frame(cloud, attributes=attributes)
-        else:
-            writer.write_frame(item)
+    with FrameStreamWriter(buffer, params=params, sensor=sensor) as writer:
+        for item in frames:
+            if isinstance(item, tuple):
+                cloud, attributes = item
+                writer.write_frame(cloud, attributes=attributes)
+            else:
+                writer.write_frame(item)
     return buffer.getvalue(), writer.stats

@@ -22,13 +22,22 @@ from repro.geometry.points import PointCloud
 __all__ = ["simulate_frame"]
 
 
-def _ray_directions(sensor: SensorModel, rng: np.random.Generator) -> np.ndarray:
+def _ray_directions(
+    sensor: SensorModel,
+    rng: np.random.Generator,
+    calibration_rng: np.random.Generator | None = None,
+) -> np.ndarray:
     """Unit direction per ray, (n_beams * azimuth_steps, 3), with jitter.
 
     Calibration offsets (``beam_jitter``) are drawn once per beam and applied
     to the whole ring: this reproduces the structure of calibrated clouds,
     which are regular along a ring but do not form an exact global grid.
     Per-ray noise (``angle_jitter``) is small and white.
+
+    ``calibration_rng`` (when given) supplies the beam offsets instead of
+    ``rng``: a real device's calibration is a property of the unit, fixed
+    across the frames of a drive, so multi-frame captures should draw it
+    from a per-drive generator rather than re-calibrating every frame.
     """
     theta_grid = np.linspace(
         0.0, 2.0 * np.pi, sensor.azimuth_steps, endpoint=False
@@ -37,10 +46,11 @@ def _ray_directions(sensor: SensorModel, rng: np.random.Generator) -> np.ndarray
     theta = np.repeat(theta_grid[None, :], sensor.n_beams, axis=0)
     phi = np.repeat(phi_grid[:, None], sensor.azimuth_steps, axis=1)
     if sensor.beam_jitter > 0.0:
-        theta = theta + rng.normal(
+        beam_rng = calibration_rng if calibration_rng is not None else rng
+        theta = theta + beam_rng.normal(
             0.0, sensor.beam_jitter * sensor.u_theta, (sensor.n_beams, 1)
         )
-        phi = phi + rng.normal(
+        phi = phi + beam_rng.normal(
             0.0, sensor.beam_jitter * sensor.u_phi, (sensor.n_beams, 1)
         )
     if sensor.angle_jitter > 0.0:
@@ -130,6 +140,7 @@ def simulate_frame(
     sensor: SensorModel,
     seed: int = 0,
     sensor_xy: tuple[float, float] = (0.0, 0.0),
+    calibration_seed: int | None = None,
 ) -> PointCloud:
     """Simulate one revolution of the sensor inside ``scene``.
 
@@ -145,6 +156,15 @@ def simulate_frame(
     sensor_xy:
         Sensor position on the ground plane; moving it between frames
         emulates a driving capture.
+    calibration_seed:
+        When given, the *drive-stable* randomness — the per-beam
+        calibration offsets and the clustered missed-return field — is
+        drawn from this seed instead of the frame seed, so every frame
+        of a drive shares them (a real unit is calibrated once, and
+        return loss is bound to scene materials, not re-rolled per
+        revolution).  Frame-local noise (per-ray angle jitter, range
+        noise, surface roughness) still follows ``seed``.  ``None``
+        keeps the legacy fully-per-frame behavior, byte-identical.
 
     Returns
     -------
@@ -152,7 +172,12 @@ def simulate_frame(
         Sensor-centered Cartesian points (one per surviving ray).
     """
     rng = np.random.default_rng(seed)
-    dirs = _ray_directions(sensor, rng)
+    calibration_rng = (
+        np.random.default_rng(calibration_seed)
+        if calibration_seed is not None
+        else None
+    )
+    dirs = _ray_directions(sensor, rng, calibration_rng)
     z_shift = scene.ground_z - sensor.height
     # Shift object footprints so the sensor sits at (0, 0).
     boxes = scene.boxes.copy()
@@ -178,7 +203,8 @@ def simulate_frame(
 
     in_range = (t >= sensor.r_min) & (t <= sensor.r_max)
     if sensor.dropout > 0.0:
-        in_range &= _correlated_keep_mask(sensor, rng)
+        mask_rng = calibration_rng if calibration_rng is not None else rng
+        in_range &= _correlated_keep_mask(sensor, mask_rng)
     t = t[in_range]
     dirs = dirs[in_range]
     if sensor.range_noise_sigma > 0.0:

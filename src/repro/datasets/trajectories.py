@@ -82,7 +82,14 @@ def generate_sequence(
     sensor: SensorModel | None = None,
     seed: int = 0,
 ) -> Iterator[PointCloud]:
-    """Yield one frame per trajectory position (sensor-centered coords)."""
+    """Yield one frame per trajectory position (sensor-centered coords).
+
+    The drive shares one calibration seed (derived from ``seed``) across
+    all of its frames: beam offsets and the missed-return field stay
+    fixed along the trajectory the way a real capture's do, which is
+    what makes consecutive frames temporally redundant (see
+    :mod:`repro.core.temporal`).  Frame-local noise still varies.
+    """
     if scene_name not in SCENE_BUILDERS:
         raise KeyError(
             f"unknown scene {scene_name!r}; available: {sorted(SCENE_BUILDERS)}"
@@ -96,4 +103,5 @@ def generate_sequence(
             sensor,
             seed=seed * 100003 + index,
             sensor_xy=trajectory[index],
+            calibration_seed=(seed + 1) * 100003 - 1,
         )

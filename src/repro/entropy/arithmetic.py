@@ -300,15 +300,22 @@ def encode_int_sequence(values: np.ndarray) -> bytes:
     return bytes(header) + payload
 
 
-def decode_int_sequence(data: bytes) -> np.ndarray:
-    """Inverse of :func:`encode_int_sequence`."""
+def decode_int_sequence(data: bytes, checksum: bool = True) -> np.ndarray:
+    """Inverse of :func:`encode_int_sequence`.
+
+    ``checksum=False`` decodes the legacy format-v1 layout, which carried
+    no integrity byte between the count header and the arithmetic payload
+    (needed to read v1 DBGC containers bit-identically).
+    """
     count, pos = decode_uvarint(data, 0)
     if count == 0:
         return np.empty(0, dtype=np.int64)
-    if pos >= len(data):
-        raise ValueError("truncated int sequence (missing checksum)")
-    checksum = data[pos]
-    pos += 1
+    expected = 0
+    if checksum:
+        if pos >= len(data):
+            raise ValueError("truncated int sequence (missing checksum)")
+        expected = data[pos]
+        pos += 1
     # Varints are self-delimiting: decode bytes until `count` values complete.
     model = AdaptiveModel(256)
     decoder = ArithmeticDecoder(data[pos:])
@@ -335,6 +342,6 @@ def decode_int_sequence(data: bytes) -> np.ndarray:
             done += 1
             current = 0
             shift = 0
-    if _int_sequence_checksum(byte_sum, n_bytes) != checksum:
+    if checksum and _int_sequence_checksum(byte_sum, n_bytes) != expected:
         raise ValueError("truncated or corrupt int sequence (checksum mismatch)")
     return values

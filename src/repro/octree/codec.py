@@ -31,6 +31,11 @@ import struct
 
 import numpy as np
 
+from repro.entropy.arithmetic import (
+    AdaptiveModel,
+    ArithmeticDecoder,
+    decode_int_sequence,
+)
 from repro.entropy.backend import (
     AdaptiveArithmeticBackend,
     EntropyBackend,
@@ -125,25 +130,36 @@ class OctreeCodec:
 
     # -- decoding ----------------------------------------------------------------
 
-    def decode(self, data: bytes) -> np.ndarray:
-        """Decompress to leaf-center coordinates (sorted Morton order)."""
+    def decode(self, data: bytes, version: int = 2) -> np.ndarray:
+        """Decompress to leaf-center coordinates (sorted Morton order).
+
+        ``version=1`` reads the legacy stream layout (raw sequential
+        adaptive-arithmetic occupancy, checksum-less count sequence), so
+        v1 DBGC containers keep decoding bit-identically.
+        """
         n_points, pos = decode_uvarint(data, 0)
         if n_points == 0:
             return np.empty((0, 3), dtype=np.float64)
         ox, oy, oz, leaf_side = _HEADER.unpack_from(data, pos)
         pos += _HEADER.size
         depth, pos = decode_uvarint(data, pos)
-        n_occupancy, pos = decode_uvarint(data, pos)
-        if n_occupancy:
+        if version == 1:
             payload_len, pos = decode_uvarint(data, pos)
-            occupancy = decode_tagged_symbols(
-                data[pos : pos + payload_len], n_occupancy, 256, self.backend
-            )
+            leaf_codes = self._decode_occupancy_v1(data[pos : pos + payload_len], depth)
             pos += payload_len
+            counts = decode_int_sequence(data[pos:], checksum=False) + 1
         else:
-            occupancy = np.empty(0, dtype=np.int64)
-        leaf_codes = self._expand_occupancy(occupancy, depth)
-        counts = decode_tagged_ints(data[pos:], self.backend) + 1
+            n_occupancy, pos = decode_uvarint(data, pos)
+            if n_occupancy:
+                payload_len, pos = decode_uvarint(data, pos)
+                occupancy = decode_tagged_symbols(
+                    data[pos : pos + payload_len], n_occupancy, 256, self.backend
+                )
+                pos += payload_len
+            else:
+                occupancy = np.empty(0, dtype=np.int64)
+            leaf_codes = self._expand_occupancy(occupancy, depth)
+            counts = decode_tagged_ints(data[pos:], self.backend) + 1
         if counts.size != leaf_codes.size:
             raise ValueError("leaf count stream does not match occupancy tree")
         ix, iy, iz = deinterleave3(leaf_codes)
@@ -155,6 +171,23 @@ class OctreeCodec:
             ]
         )
         return np.repeat(centers, counts, axis=0)
+
+    def _decode_occupancy_v1(self, payload: bytes, depth: int) -> np.ndarray:
+        """Legacy v1 occupancy: one sequential adaptive model, no tag byte."""
+        nodes = np.zeros(1, dtype=np.int64)
+        if depth == 0:
+            return nodes
+        model = AdaptiveModel(256, increment=self.increment, max_total=self.max_total)
+        decoder = ArithmeticDecoder(payload)
+        decode_one = decoder.decode_symbol
+        for _ in range(depth):
+            occupancy = np.fromiter(
+                (decode_one(model) for _ in range(len(nodes))),
+                dtype=np.uint8,
+                count=len(nodes),
+            )
+            nodes = expand_occupancy_level(nodes, occupancy)
+        return nodes
 
     @staticmethod
     def _expand_occupancy(occupancy: np.ndarray, depth: int) -> np.ndarray:

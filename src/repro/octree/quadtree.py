@@ -15,6 +15,11 @@ import struct
 
 import numpy as np
 
+from repro.entropy.arithmetic import (
+    AdaptiveModel,
+    ArithmeticDecoder,
+    decode_int_sequence,
+)
 from repro.entropy.backend import (
     AdaptiveArithmeticBackend,
     EntropyBackend,
@@ -107,14 +112,42 @@ class QuadtreeCodec:
         out += encode_tagged_ints(counts - 1, self.backend)
         return bytes(out)
 
-    def decode(self, data: bytes) -> np.ndarray:
-        """Decompress to leaf-center ``(x, y)`` (sorted Morton order)."""
+    def decode(self, data: bytes, version: int = 2) -> np.ndarray:
+        """Decompress to leaf-center ``(x, y)`` (sorted Morton order).
+
+        ``version=1`` reads the legacy layout (raw sequential adaptive
+        arithmetic occupancy, checksum-less count sequence).
+        """
         n_points, pos = decode_uvarint(data, 0)
         if n_points == 0:
             return np.empty((0, 2), dtype=np.float64)
         ox, oy, leaf_side = _HEADER.unpack_from(data, pos)
         pos += _HEADER.size
         depth, pos = decode_uvarint(data, pos)
+        if version == 1:
+            payload_len, pos = decode_uvarint(data, pos)
+            nodes = np.zeros(1, dtype=np.int64)
+            if depth > 0:
+                model = AdaptiveModel(
+                    16, increment=self.increment, max_total=self.max_total
+                )
+                decoder = ArithmeticDecoder(data[pos : pos + payload_len])
+                for _ in range(depth):
+                    occupancy = np.fromiter(
+                        (decoder.decode_symbol(model) for _ in range(len(nodes))),
+                        dtype=np.uint8,
+                        count=len(nodes),
+                    )
+                    nodes = _expand_level(nodes, occupancy)
+            pos += payload_len
+            counts = decode_int_sequence(data[pos:], checksum=False) + 1
+            if counts.size != nodes.size:
+                raise ValueError("leaf count stream does not match quadtree")
+            ix, iy = deinterleave2(nodes)
+            centers = np.column_stack(
+                [ox + (ix + 0.5) * leaf_side, oy + (iy + 0.5) * leaf_side]
+            )
+            return np.repeat(centers, counts, axis=0)
         n_occupancy, pos = decode_uvarint(data, pos)
         if n_occupancy:
             payload_len, pos = decode_uvarint(data, pos)

@@ -17,6 +17,14 @@ byte), this server is built for a lossy uplink *and* a fleet of sensors:
   poison each other's dedupe or ACK accounting;
 - a corrupt or undecodable payload is *quarantined* — recorded with its
   bytes and exception — and serving continues;
+- in ``decompress`` mode each stream decodes through its own stateful
+  :class:`~repro.core.temporal.TemporalDecoder`, so temporal streams
+  (format v3 delta frames between keyframes) decode transparently and
+  two streams' predictor states can never mix; a delta frame whose
+  predictor is missing or mismatched (e.g. the server restarted and
+  lost the in-memory state, or its predecessor was quarantined) raises
+  and is quarantined like any undecodable payload — the stream heals at
+  its next keyframe, which re-seeds the predictor;
 - retransmitted frames are deduplicated per stream, making client
   retries idempotent;
 - every frame is acknowledged, so the client can detect loss;
@@ -35,7 +43,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping
 
-from repro.core.pipeline import DBGCDecompressor
+from repro.core.temporal import TemporalDecoder
 from repro.observability import recorder as _obs
 from repro.system.durability import ReceiptJournal
 from repro.system.faults import FaultyChannel
@@ -88,7 +96,15 @@ class StreamState:
     Mutated only under the owning server's :attr:`DbgcServer.lock`.
     """
 
-    __slots__ = ("stream_id", "seen", "ack_counts", "receipts", "ended")
+    __slots__ = (
+        "stream_id",
+        "seen",
+        "ack_counts",
+        "receipts",
+        "ended",
+        "decoder",
+        "decode_lock",
+    )
 
     def __init__(self, stream_id: int | str) -> None:
         self.stream_id = stream_id
@@ -100,6 +116,15 @@ class StreamState:
         self.receipts: list[tuple[int, int, float, float]] = []
         #: True once the stream's END record arrived.
         self.ended = False
+        #: Stateful per-stream decoder (decompress mode): carries the
+        #: temporal predictor between this stream's frames.  In-memory
+        #: only — a restarted server starts blank, so delta frames are
+        #: quarantined until the stream's next keyframe re-seeds it.
+        self.decoder = TemporalDecoder()
+        #: Serializes decodes of this stream: the decoder's predictor
+        #: state makes decode order-sensitive, so a reconnect racing the
+        #: old connection must not interleave.
+        self.decode_lock = threading.Lock()
 
 
 class DbgcServer:
@@ -178,7 +203,6 @@ class DbgcServer:
         self.busy_threshold_s = busy_threshold_s
         self.busy_depth = busy_depth
         self.max_quarantine = int(max_quarantine)
-        self._decompressor = DBGCDecompressor()
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         try:
@@ -467,7 +491,8 @@ class DbgcServer:
         write_started = time.perf_counter()
         try:
             if self.mode == "decompress":
-                cloud = self._decompressor.decompress(payload)
+                with stream.decode_lock:
+                    cloud = stream.decoder.decode(payload)
                 self.store.put_cloud(frame_index, cloud)
             else:
                 self.store.put_payload(frame_index, payload)

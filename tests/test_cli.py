@@ -108,3 +108,27 @@ class TestStream:
     def test_bad_policy_rejected(self):
         with pytest.raises(SystemExit):
             main(["stream", "--policy", "teleport"])
+
+
+class TestSequenceCommand:
+    def test_temporal_stream_writes_and_verifies(self, tmp_path, capsys):
+        path = tmp_path / "drive.dbgcs"
+        assert main(["sequence", "kitti-road", str(path),
+                     "--frames", "3", "--temporal", "--keyframe-interval", "2",
+                     "--sensor-scale", "0.15", "--verify"]) == 0
+        out = capsys.readouterr().out
+        # Interval 2 over 3 frames: key, delta, key.
+        assert "frame 0" in out and "(key)" in out and "(delta)" in out
+        assert "verified: 3 frames" in out
+        # The stream header carries the backpatched frame count.
+        from repro.core.streaming import FrameStreamReader
+
+        with open(path, "rb") as source:
+            assert FrameStreamReader(source).n_frames == 3
+
+    def test_independent_stream_has_no_deltas(self, tmp_path, capsys):
+        path = tmp_path / "drive.dbgcs"
+        assert main(["sequence", "kitti-road", str(path),
+                     "--frames", "2", "--sensor-scale", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "(delta)" not in out

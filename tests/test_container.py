@@ -1,0 +1,114 @@
+"""Bounds-check tests for the DBGC container parser.
+
+Every length field in :func:`repro.core.container.unpack_container` must be
+validated against the buffer: truncating a real payload at *any* byte has
+to raise ``ValueError`` rather than hand short slices to the sub-decoders
+(which would surface as confusing downstream errors, or worse, decode
+garbage).  Both a v2 intra payload and a v3 delta payload are exercised so
+the v3 extension header (predictor fingerprint + ego delta) is covered.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DBGCParams
+from repro.core.container import container_version, unpack_container
+from repro.core.pipeline import DBGCCompressor
+from repro.core.temporal import TemporalContext
+from repro.geometry import PointCloud
+
+
+def _small_cloud(shift: float = 0.0) -> PointCloud:
+    """A compact analytic scene: a wall, a ground ring, a few outliers."""
+    rng = np.random.default_rng(7)
+    th = np.linspace(0.0, 2.0 * np.pi, 240, endpoint=False)
+    ring = np.stack(
+        [10.0 * np.cos(th) + shift, 10.0 * np.sin(th), np.full_like(th, -1.0)],
+        axis=1,
+    )
+    wall = np.stack(
+        [
+            np.full(120, 5.0 + shift) + rng.normal(0.0, 0.003, 120),
+            np.tile(np.linspace(-1.0, 1.0, 12), 10),
+            np.repeat(np.linspace(-0.5, 0.5, 10), 12),
+        ],
+        axis=1,
+    )
+    outliers = rng.uniform(-40.0, 40.0, (12, 3))
+    return PointCloud(np.vstack([ring, wall, outliers]))
+
+
+@pytest.fixture(scope="module")
+def v2_payload():
+    compressor = DBGCCompressor(DBGCParams())
+    payload = compressor.compress(
+        _small_cloud(), attributes={"intensity": np.linspace(0, 1, 372)}
+    )
+    assert container_version(payload) == 2
+    return payload
+
+
+@pytest.fixture(scope="module")
+def v3_payload():
+    params = DBGCParams(temporal=True, keyframe_interval=8)
+    compressor = DBGCCompressor(params)
+    context = TemporalContext()
+    compressor.compress_temporal(_small_cloud(), context)
+    result = compressor.compress_temporal(
+        _small_cloud(shift=0.5), context, ego_delta=(0.5, 0.0, 0.0)
+    )
+    assert container_version(result.payload) == 3
+    return result.payload
+
+
+class TestTruncation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_container(b"")
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="bad magic"):
+            unpack_container(b"XXXX" + bytes(64))
+
+    @pytest.mark.parametrize("fixture", ["v2_payload", "v3_payload"])
+    def test_every_prefix_rejected(self, fixture, request):
+        # Exhaustive: chopping the payload at any byte must raise — this
+        # sweeps every section boundary (magic, fixed header, v3 extension,
+        # each length varint, each section body) without enumerating them.
+        payload = request.getfixturevalue(fixture)
+        for cut in range(len(payload)):
+            with pytest.raises(ValueError):
+                unpack_container(payload[:cut])
+
+    @pytest.mark.parametrize("fixture", ["v2_payload", "v3_payload"])
+    def test_truncation_message_at_section_boundaries(self, fixture, request):
+        payload = request.getfixturevalue(fixture)
+        # Past the magic the error is the documented truncation message;
+        # probe the fixed header, the section area, and the final byte.
+        header_end = 7 + 32 + (28 if container_version(payload) == 3 else 0)
+        for cut in (5, header_end - 1, header_end + 1, len(payload) - 1):
+            with pytest.raises(ValueError, match="truncated DBGC container"):
+                unpack_container(payload[:cut])
+
+    @pytest.mark.parametrize("fixture", ["v2_payload", "v3_payload"])
+    def test_runaway_length_varint_rejected(self, fixture, request):
+        payload = request.getfixturevalue(fixture)
+        header_end = 7 + 32 + (28 if container_version(payload) == 3 else 0)
+        # Replace the dense-section length with continuation bytes running
+        # off the end of the buffer.
+        corrupt = payload[:header_end] + b"\xff" * 8
+        with pytest.raises(ValueError, match="truncated DBGC container"):
+            unpack_container(corrupt)
+
+    def test_unsupported_version_rejected(self, v2_payload):
+        corrupt = v2_payload[:4] + bytes([9]) + v2_payload[5:]
+        with pytest.raises(ValueError, match="unsupported DBGC version"):
+            unpack_container(corrupt)
+
+    def test_full_payloads_parse(self, v2_payload, v3_payload):
+        header, dense, groups, outlier, attributes = unpack_container(v2_payload)
+        assert header.version == 2 and len(attributes) > 0
+        header, _, _, _, _ = unpack_container(v3_payload)
+        assert header.version == 3
+        assert header.ego_delta == pytest.approx((0.5, 0.0, 0.0))
+        assert header.predictor_fingerprint != 0

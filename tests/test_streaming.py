@@ -14,7 +14,6 @@ from repro.core.streaming import (
 )
 from repro.datasets import SensorModel
 from repro.datasets.trajectories import curve, generate_sequence, loop, straight
-from repro.geometry import PointCloud
 
 
 @pytest.fixture(scope="module")
@@ -67,6 +66,14 @@ class TestStreamStats:
         assert stats.total_points == 2000
         assert stats.compression_ratio == pytest.approx(24000 / 1000)
         assert stats.bandwidth_mbps(10.0) == pytest.approx(8 * 10 * 500 / 1e6)
+
+    def test_attribute_bytes_accounted(self):
+        # Regression: the raw-size accounting ignored attribute channels,
+        # overstating the compression ratio of attribute-carrying streams.
+        stats = StreamStats()
+        stats.record(1000, 600, n_attributes=2)
+        assert stats.total_raw_bytes == 1000 * (12 + 4 * 2)
+        assert stats.compression_ratio == pytest.approx(20000 / 600)
 
     def test_empty(self):
         stats = StreamStats()
@@ -169,9 +176,9 @@ class TestFrameStream:
             zip(frames, attrs), sensor=small_sensor
         )
         buffer = io.BytesIO()
-        writer = FrameStreamWriter(buffer, sensor=small_sensor)
-        for frame, frame_attrs in zip(frames, attrs):
-            writer.write_frame(frame, attributes=frame_attrs)
+        with FrameStreamWriter(buffer, sensor=small_sensor) as writer:
+            for frame, frame_attrs in zip(frames, attrs):
+                writer.write_frame(frame, attributes=frame_attrs)
         assert blob == buffer.getvalue()
         assert stats.n_frames == 2
         # The attributes actually made it into the payloads.
@@ -191,3 +198,160 @@ class TestFrameStream:
         )
         blob_bare, _ = compress_stream(frames, sensor=small_sensor)
         assert blob_mixed == blob_bare
+
+
+class _PipeSink:
+    """A write-only sink that reports itself non-seekable, like a pipe."""
+
+    def __init__(self):
+        self.data = bytearray()
+
+    def write(self, chunk):
+        self.data.extend(chunk)
+        return len(chunk)
+
+    def seekable(self):
+        return False
+
+    def seek(self, *args):  # pragma: no cover - must never be called
+        raise OSError("pipe is not seekable")
+
+    def tell(self):  # pragma: no cover - must never be called
+        raise OSError("pipe is not seekable")
+
+
+class TestFrameCountBackpatch:
+    def test_seekable_sink_backpatches_count(self, small_sensor):
+        frames = list(
+            generate_sequence("kitti-road", straight(3), sensor=small_sensor)
+        )
+        buffer = io.BytesIO()
+        with FrameStreamWriter(buffer, sensor=small_sensor) as writer:
+            for frame in frames:
+                writer.write_frame(frame)
+        blob = buffer.getvalue()
+        # The reserved slot holds the count as a padded 3-byte LEB128.
+        assert blob[5:8] == bytes([0x80 | 3, 0x80, 0x00])
+        reader = FrameStreamReader(io.BytesIO(blob))
+        assert reader.n_frames == 3
+        assert len(list(reader.payloads())) == 3
+
+    def test_non_seekable_sink_keeps_unknown_count(self, small_sensor):
+        frames = list(
+            generate_sequence("kitti-road", straight(2), sensor=small_sensor)
+        )
+        sink = _PipeSink()
+        with FrameStreamWriter(sink, sensor=small_sensor) as writer:
+            for frame in frames:
+                writer.write_frame(frame)
+        blob = bytes(sink.data)
+        # Canonical single zero byte: the count stays "unknown" on pipes,
+        # and close() never touches the sink again.
+        assert blob[5] == 0x00
+        reader = FrameStreamReader(io.BytesIO(blob))
+        assert reader.n_frames == 0
+        assert [len(c) for c in reader.frames()] == [len(f) for f in frames]
+
+    def test_close_is_idempotent_and_keeps_sink_open(self, small_sensor):
+        frames = list(
+            generate_sequence("kitti-road", straight(1), sensor=small_sensor)
+        )
+        buffer = io.BytesIO()
+        writer = FrameStreamWriter(buffer, sensor=small_sensor)
+        writer.write_frame(frames[0])
+        writer.close()
+        writer.close()
+        assert not buffer.closed
+        with pytest.raises(ValueError, match="closed"):
+            writer.write_frame(frames[0])
+
+    def test_sink_position_restored_after_close(self, small_sensor):
+        frames = list(
+            generate_sequence("kitti-road", straight(1), sensor=small_sensor)
+        )
+        buffer = io.BytesIO()
+        with FrameStreamWriter(buffer, sensor=small_sensor) as writer:
+            writer.write_frame(frames[0])
+        # close() seeks back to the end so callers can keep appending
+        # (e.g. a second stream in the same file).
+        assert buffer.tell() == len(buffer.getvalue())
+
+    def test_compress_stream_header_carries_count(self, small_sensor):
+        frames = list(
+            generate_sequence("kitti-road", straight(2), sensor=small_sensor)
+        )
+        blob, _ = compress_stream(frames, sensor=small_sensor)
+        assert FrameStreamReader(io.BytesIO(blob)).n_frames == 2
+
+
+class TestTemporalStreaming:
+    @pytest.fixture(scope="class")
+    def drive(self, small_sensor):
+        trajectory = straight(5)
+        frames = list(
+            generate_sequence(
+                "kitti-road", trajectory, sensor=small_sensor, seed=2
+            )
+        )
+        return frames, trajectory
+
+    def _temporal_blob(self, drive, small_sensor, keyframe_interval=2):
+        frames, trajectory = drive
+        params = DBGCParams(temporal=True, keyframe_interval=keyframe_interval)
+        buffer = io.BytesIO()
+        with FrameStreamWriter(buffer, params, sensor=small_sensor) as writer:
+            for index, frame in enumerate(frames):
+                writer.write_frame(frame, ego_position=trajectory[index])
+        return buffer.getvalue()
+
+    def test_temporal_stream_roundtrip(self, drive, small_sensor):
+        frames, _ = drive
+        blob = self._temporal_blob(drive, small_sensor)
+        decoded = list(FrameStreamReader(io.BytesIO(blob)))
+        assert [len(c) for c in decoded] == [len(f) for f in frames]
+
+    def test_temporal_stream_mixes_versions(self, drive, small_sensor):
+        from repro.core.container import container_version
+
+        blob = self._temporal_blob(drive, small_sensor)
+        versions = [
+            container_version(p)
+            for p in FrameStreamReader(io.BytesIO(blob)).payloads()
+        ]
+        # Interval 2 over 5 frames: keyframes at 0, 2, 4.
+        assert [v == 3 for v in versions] == [False, True, False, True, False]
+
+    def test_keyframe_interval_one_matches_plain_stream(self, drive, small_sensor):
+        frames, _ = drive
+        all_key = self._temporal_blob(drive, small_sensor, keyframe_interval=1)
+        plain, _ = compress_stream(frames, sensor=small_sensor)
+        assert all_key == plain
+
+    def test_recover_skips_leading_deltas(self, drive, small_sensor):
+        frames, _ = drive
+        blob = self._temporal_blob(drive, small_sensor)
+        payloads = list(FrameStreamReader(io.BytesIO(blob)).payloads())
+        # Rebuild a partial stream starting mid-GOP (at delta frame 1).
+        partial = io.BytesIO()
+        with FrameStreamWriter(partial, sensor=small_sensor):
+            pass  # header only
+        from repro.entropy.varint import encode_uvarint
+
+        body = bytearray(partial.getvalue())
+        for payload in payloads[1:]:
+            encode_uvarint(len(payload), body)
+            body.extend(payload)
+        reader = FrameStreamReader(io.BytesIO(bytes(body)))
+        recovered = list(reader.frames(recover=True))
+        # The leading delta (frame 1) is skipped; decoding resumes at the
+        # keyframe (frame 2) and runs statefully to the end.
+        assert [len(c) for c in recovered] == [len(f) for f in frames[2:]]
+
+    def test_mid_stream_delta_without_recover_raises(self, drive, small_sensor):
+        blob = self._temporal_blob(drive, small_sensor)
+        payloads = list(FrameStreamReader(io.BytesIO(blob)).payloads())
+        from repro.core.temporal import TemporalDecoder
+
+        decoder = TemporalDecoder()
+        with pytest.raises(ValueError, match="predictor state"):
+            decoder.decode(payloads[1])

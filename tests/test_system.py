@@ -162,9 +162,7 @@ class TestClientServer:
         # The stored payload is still decodable.
         from repro.core import DBGCDecompressor
 
-        assert len(DbgcServer(store)._decompressor.decompress(payload)) == len(
-            frames[0]
-        )
+        assert len(DBGCDecompressor().decompress(payload)) == len(frames[0])
 
     def test_shaped_channel_delays_delivery(self, frames):
         store = SqliteFrameStore()
