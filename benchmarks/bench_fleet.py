@@ -20,6 +20,16 @@ median-of-rounds with alternating run order, which cancels slow machine
 drift that best-of-N is defenseless against.  The journaled run must
 keep >= 80% of the plain aggregate fps.
 
+A decode-offload section times the same decompress-mode fleet against
+``decode_workers=1`` and ``decode_workers=4``: real temporal payloads
+(format-v3 delta chains) decoded server-side, walls median-of-rounds
+with alternating order like the durability row.  The >= 2x speedup gate
+only applies where it physically can hold — at least 4 usable cores
+(``os.sched_getaffinity``); on smaller machines the rows are still
+recorded and a weak sanity floor guards against pathological slowdowns.
+Byte-identity against the inline serial oracle is asserted at every
+scale for both intra and temporal payloads.
+
 CI runs a reduced sweep via ``DBGC_FLEET_CLIENTS=1,2``; the committed
 baseline covers 1,2,4,8 and the comparison intersects shared keys.
 """
@@ -29,9 +39,15 @@ import statistics
 import tempfile
 from pathlib import Path
 
-from benchmarks.common import record_bench, write_result
+from benchmarks.common import BENCH_SENSOR_SCALE, record_bench, write_result
 from repro.eval import render_table
-from repro.system import FleetSpec, ShardedFrameStore, run_fleet
+from repro.system import (
+    FleetSpec,
+    ShardedFrameStore,
+    cloud_contents,
+    compressed_fleet_payloads,
+    run_fleet,
+)
 
 CLIENT_COUNTS = [
     int(x) for x in os.environ.get("DBGC_FLEET_CLIENTS", "1,2,4,8").split(",")
@@ -53,6 +69,22 @@ DURABILITY_ROUNDS = 7
 DURABILITY_PAYLOAD = (18_000, 30_000)
 #: The acceptance bar: journaling may cost at most 20% aggregate fps.
 DURABILITY_MAX_COST = 0.20
+
+#: Decode-offload rows: worker counts to sweep (CI and the committed
+#: baseline use 1 vs 4), fleet shape, and median-of-N rounds.
+DECODE_WORKER_COUNTS = [
+    int(x) for x in os.environ.get("DBGC_FLEET_DECODE_WORKERS", "1,4").split(",")
+]
+DECODE_CLIENTS = 4
+DECODE_FRAMES = 12
+DECODE_KEYFRAME_INTERVAL = 4
+DECODE_ROUNDS = 3
+#: The acceptance bar where >= 4 cores exist: 4 decode workers must beat
+#: 1 by at least 2x on aggregate decompress-mode fps.
+DECODE_MIN_SPEEDUP = 2.0
+DECODE_SPEC = FleetSpec(
+    n_clients=DECODE_CLIENTS, frames_per_client=DECODE_FRAMES, seed=17
+)
 
 
 def _durability_run(journal: "Path | None") -> tuple[float, int]:
@@ -96,6 +128,35 @@ def _durability_walls(tmp: Path) -> tuple[float, float, int]:
     )
 
 
+def _decode_run(payloads, workers: int) -> tuple[float, dict[int, bytes]]:
+    """One concurrent decompress-mode fleet; returns (wall s, decoded xyz)."""
+    with ShardedFrameStore.sqlite(N_SHARDS) as store:
+        result = run_fleet(
+            DECODE_SPEC,
+            store,
+            mode="decompress",
+            decode_workers=workers,
+            payloads=payloads,
+        )
+        contents = cloud_contents(store)
+    assert result.n_stored == DECODE_CLIENTS * DECODE_FRAMES, result.n_stored
+    assert result.n_dropped == 0 and result.n_quarantined == 0
+    return result.wall_s, contents
+
+
+def _decode_walls(payloads) -> dict[int, float]:
+    """Median-of-N walls per worker count, alternating the run order."""
+    walls: dict[int, list[float]] = {n: [] for n in DECODE_WORKER_COUNTS}
+    for round_no in range(DECODE_ROUNDS):
+        order = list(DECODE_WORKER_COUNTS)
+        if round_no % 2:
+            order.reverse()
+        for n in order:
+            wall, _ = _decode_run(payloads, n)
+            walls[n].append(wall)
+    return {n: statistics.median(w) for n, w in walls.items()}
+
+
 def test_fleet_scaling(benchmark):
     results = {}
 
@@ -131,6 +192,60 @@ def test_fleet_scaling(benchmark):
         f"journal overhead too high: {plain_fps:.1f} -> {journal_fps:.1f} fps"
     )
 
+    # -- decode offload rows ------------------------------------------------
+    temporal_payloads = compressed_fleet_payloads(
+        DECODE_SPEC,
+        sensor_scale=BENCH_SENSOR_SCALE,
+        temporal=True,
+        keyframe_interval=DECODE_KEYFRAME_INTERVAL,
+    )
+    with ShardedFrameStore.sqlite(N_SHARDS) as oracle_store:
+        oracle = run_fleet(
+            DECODE_SPEC,
+            oracle_store,
+            mode="decompress",
+            payloads=temporal_payloads,
+            concurrent=False,
+        )
+        oracle_contents = cloud_contents(oracle_store)
+    assert oracle.n_quarantined == 0
+    # Byte-identity, temporal: the offloaded concurrent fleet must store
+    # exactly what the inline serial oracle decodes.
+    _, offloaded_contents = _decode_run(temporal_payloads, DECODE_WORKER_COUNTS[-1])
+    assert offloaded_contents == oracle_contents
+    # Byte-identity, intra: same contract for standalone frames.
+    intra_spec = FleetSpec(n_clients=2, frames_per_client=4, seed=19)
+    intra_payloads = compressed_fleet_payloads(
+        intra_spec, sensor_scale=BENCH_SENSOR_SCALE
+    )
+    with ShardedFrameStore.sqlite(N_SHARDS) as intra_inline:
+        run_fleet(
+            intra_spec, intra_inline, mode="decompress",
+            payloads=intra_payloads, concurrent=False,
+        )
+        with ShardedFrameStore.sqlite(N_SHARDS) as intra_offloaded:
+            run_fleet(
+                intra_spec, intra_offloaded, mode="decompress",
+                decode_workers=DECODE_WORKER_COUNTS[-1], payloads=intra_payloads,
+            )
+            assert cloud_contents(intra_offloaded) == cloud_contents(intra_inline)
+
+    decode_walls = _decode_walls(temporal_payloads)
+    n_decode = DECODE_CLIENTS * DECODE_FRAMES
+    decode_fps = {n: n_decode / wall for n, wall in decode_walls.items()}
+    low, high = DECODE_WORKER_COUNTS[0], DECODE_WORKER_COUNTS[-1]
+    if len(os.sched_getaffinity(0)) >= 4 and high >= 4:
+        # The offload acceptance gate — only where 4 workers can
+        # actually run in parallel.
+        assert decode_fps[high] >= DECODE_MIN_SPEEDUP * decode_fps[low], (
+            f"decode offload too slow: {decode_fps[low]:.1f} -> "
+            f"{decode_fps[high]:.1f} fps with {high} workers"
+        )
+    else:
+        # Fewer cores than workers: no speedup to demand, but more
+        # workers must not collapse throughput either.
+        assert decode_fps[high] >= 0.3 * decode_fps[low], decode_fps
+
     fps = {n: v[1] for n, v in results.items()}
     rows = [
         [str(n), f"{results[n][0]:.2f} s", f"{fps[n]:.1f}",
@@ -141,6 +256,11 @@ def test_fleet_scaling(benchmark):
         f"{DURABILITY_CLIENTS} (journaled)", f"{journal_wall:.2f} s",
         f"{journal_fps:.1f}", f"{journal_fps / plain_fps:.2f}x of plain",
     ])
+    for n in DECODE_WORKER_COUNTS:
+        rows.append([
+            f"{DECODE_CLIENTS} (decode w={n})", f"{decode_walls[n]:.2f} s",
+            f"{decode_fps[n]:.1f}", f"{decode_fps[n] / decode_fps[low]:.2f}x of w={low}",
+        ])
     text = render_table(
         ["clients", "wall", "frames/sec", "speedup"],
         rows,
@@ -153,10 +273,16 @@ def test_fleet_scaling(benchmark):
     wall_times = {f"clients{n}": results[n][0] for n in CLIENT_COUNTS}
     wall_times["durability_plain"] = plain_wall
     wall_times["durability_journal"] = journal_wall
+    for n in DECODE_WORKER_COUNTS:
+        wall_times[f"decode_workers{n}"] = decode_walls[n]
     sizes = {f"clients{n}_stored_bytes": results[n][2] for n in CLIENT_COUNTS}
     sizes["durability_stored_bytes"] = durability_bytes
+    decode_xyz_bytes = sum(len(blob) for blob in oracle_contents.values())
+    sizes["decode_xyz_bytes"] = decode_xyz_bytes
     counts = {f"clients{n}_frames": n * FRAMES for n in CLIENT_COUNTS}
     counts["durability_frames"] = n_durability
+    counts["decode_frames"] = n_decode
+    counts["decode_points"] = decode_xyz_bytes // 24  # 3 x float64 per point
     record_bench(
         "fleet", wall_times_s=wall_times, sizes_bytes=sizes, point_counts=counts
     )

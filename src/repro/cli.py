@@ -445,11 +445,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_clients=args.max_clients,
         receipt_journal=args.receipt_journal if args.receipt_journal else None,
         busy_threshold_s=args.busy_threshold if args.busy_threshold > 0 else None,
+        decode_workers=args.decode_workers,
+        journal_rotate_bytes=(
+            args.journal_rotate_bytes if args.journal_rotate_bytes > 0 else None
+        ),
     ) as server:
         host, port = server.address
         print(f"listening on {host}:{port} "
               f"(mode={args.mode}, max-clients={args.max_clients}, "
-              f"shards={args.shards})", flush=True)
+              f"shards={args.shards}, decode-workers={args.decode_workers})",
+              flush=True)
         try:
             if args.exit_after_streams > 0:
                 server.wait_for_streams(args.exit_after_streams, timeout=args.timeout)
@@ -486,13 +491,25 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     )
     if args.kill_after > 0 and not args.receipt_journal:
         raise SystemExit("--kill-after requires --receipt-journal")
+    if args.decode_workers > 0 and args.mode != "decompress":
+        raise SystemExit("--decode-workers requires --mode decompress")
+    payloads = None
+    if args.mode == "decompress":
+        from repro.system import compressed_fleet_payloads
+
+        payloads = compressed_fleet_payloads(
+            spec, sensor_scale=args.sensor_scale, temporal=args.temporal
+        )
     with ShardedFrameStore.sqlite(args.shards, replication=args.replication) as store:
         result = run_fleet(
             spec,
             store,
+            mode=args.mode,
             max_clients=args.max_clients,
             receipt_journal=args.receipt_journal if args.receipt_journal else None,
             kill_after_frames=args.kill_after if args.kill_after > 0 else None,
+            decode_workers=args.decode_workers,
+            payloads=payloads,
         )
         rows = []
         for cid in sorted(result.reports):
@@ -743,6 +760,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="store-latency EWMA above which ACKs carry the BUSY "
         "backpressure hint (0 = disabled)",
     )
+    p.add_argument(
+        "--decode-workers", type=int, default=0, metavar="N",
+        help="decode offload tier: decoder worker processes with "
+        "per-stream affinity (decompress mode; 0 = decode inline)",
+    )
+    p.add_argument(
+        "--journal-rotate-bytes", type=int, default=0, metavar="BYTES",
+        help="seal the receipt journal into a new segment past this size "
+        "and compact fully-ended streams (0 = never rotate)",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -792,6 +819,22 @@ def build_parser() -> argparse.ArgumentParser:
         "after N stored frames and restart it on the same port "
         "(requires --receipt-journal)",
     )
+    p.add_argument(
+        "--mode", default="store", choices=["decompress", "store"],
+        help="server behavior: decompress clouds (clients send real "
+        "compressed frames) or store raw payloads",
+    )
+    p.add_argument(
+        "--decode-workers", type=int, default=0, metavar="N",
+        help="decode offload tier: decoder worker processes with "
+        "per-stream affinity (needs --mode decompress; 0 = inline)",
+    )
+    p.add_argument(
+        "--temporal", action="store_true",
+        help="decompress mode: send a temporal stream (v3 delta frames "
+        "between keyframes) instead of independent intra frames",
+    )
+    _add_sensor_arg(p)
     p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser(

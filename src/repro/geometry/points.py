@@ -47,6 +47,28 @@ class PointCloud:
     # -- construction helpers -------------------------------------------------
 
     @classmethod
+    def _adopt(cls, xyz: np.ndarray) -> "PointCloud":
+        """Wrap ``xyz`` directly, skipping the defensive copy.
+
+        For trusted internal callers only — notably the process-pool
+        transfer path, where the array is already backed by immutable
+        bytes received from a worker and copying it would defeat the
+        zero-copy hand-off.  The array must be a C-contiguous float64
+        ``(n, 3)``; it is marked read-only in place, so the caller must
+        not hold a writable alias.
+        """
+        if xyz.dtype != np.float64 or xyz.ndim != 2 or xyz.shape[1] != 3:
+            raise ValueError(
+                f"expected a float64 (n, 3) array, got {xyz.dtype} {xyz.shape}"
+            )
+        if not xyz.flags["C_CONTIGUOUS"]:
+            raise ValueError("adopted arrays must be C-contiguous")
+        xyz.setflags(write=False)
+        cloud = cls.__new__(cls)
+        cloud._xyz = xyz
+        return cloud
+
+    @classmethod
     def empty(cls) -> "PointCloud":
         """Return a cloud with zero points."""
         return cls(np.empty((0, 3), dtype=np.float64))

@@ -35,6 +35,16 @@ an overloaded server piggybacks a BUSY hint on its ACKs that clients
 answer by slowing down or coarsening.
 :class:`~repro.system.faults.ServerKillSwitch` injects the process fault
 deterministically for the kill-and-restart drills.
+
+The decode offload tier (``DbgcServer(decode_workers=N)``) moves
+``decompress``-mode decoding off the GIL-bound handler threads onto a
+:class:`~repro.system.pool.StickyWorkerPool` of decoder worker
+processes with per-stream affinity: each worker owns its streams'
+stateful temporal decoders, frames decode in arrival order, and decoded
+clouds return through pickle-protocol-5 out-of-band buffers — so
+decompress-mode fleet throughput scales with cores while every ingest
+contract (ACK after commit, journaling, quarantine, dedupe, byte-
+identical store contents) stays exactly the inline path's.
 """
 
 from repro.system.channel import BandwidthShaper
@@ -48,9 +58,21 @@ from repro.system.durability import (
     atomic_write_bytes,
 )
 from repro.system.faults import FaultPlan, FaultSpec, FaultyChannel, ServerKillSwitch
-from repro.system.loadgen import FleetResult, FleetSpec, run_fleet
+from repro.system.loadgen import (
+    FleetResult,
+    FleetSpec,
+    cloud_contents,
+    compressed_fleet_payloads,
+    run_fleet,
+)
 from repro.system.metrics import FrameTrace, PipelineReport, TransportEvent
-from repro.system.server import DbgcServer, QuarantinedFrame, StreamState
+from repro.system.pool import StickyWorkerPool, pack_array, unpack_array
+from repro.system.server import (
+    DbgcServer,
+    QuarantinedFrame,
+    RemoteDecodeError,
+    StreamState,
+)
 from repro.system.storage import FileFrameStore, ShardedFrameStore, SqliteFrameStore
 
 __all__ = [
@@ -70,13 +92,19 @@ __all__ = [
     "QuarantinedFrame",
     "ReceiptJournal",
     "RecoveryReport",
+    "RemoteDecodeError",
     "ScrubDefect",
     "ScrubReport",
     "ServerKillSwitch",
     "ShardedFrameStore",
     "SqliteFrameStore",
+    "StickyWorkerPool",
     "StreamState",
     "TransportEvent",
     "atomic_write_bytes",
+    "cloud_contents",
+    "compressed_fleet_payloads",
+    "pack_array",
     "run_fleet",
+    "unpack_array",
 ]

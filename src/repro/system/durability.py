@@ -182,6 +182,36 @@ def _line_crc(entry: dict) -> int:
     return zlib.crc32(canonical.encode("utf-8"))
 
 
+def _encode_line(entry: dict) -> bytes:
+    """One CRC-framed journal line for ``entry`` (without a ``c`` field)."""
+    payload = json.dumps(entry, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    crc = zlib.crc32(payload)
+    # "c" sorts before every other journal key, so splicing it in front
+    # keeps the line identical to a sorted re-dump (replay verifies
+    # exactly that).
+    return b'{"c":%d,%s\n' % (crc, payload[1:])
+
+
+def _parse_segment(text: str) -> tuple[list[dict], int]:
+    """Parse one segment's intact entries; stop at (and flag) a torn record."""
+    entries: list[dict] = []
+    torn = 0
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+            crc = entry.pop("c")
+        except (ValueError, KeyError):
+            torn = 1
+            break
+        if _line_crc(entry) != crc:
+            torn = 1
+            break
+        entries.append(entry)
+    return entries, torn
+
+
 class ReceiptJournal:
     """Append-only, CRC-framed journal of per-stream store receipts.
 
@@ -201,35 +231,66 @@ class ReceiptJournal:
     records" — safe for the ingest server, because losing a receipt only
     means a retransmitted frame is re-stored idempotently instead of
     answered DUPLICATE — and takes the syscall off the ACK hot path.
+
+    ``rotate_bytes=N`` bounds the *active* file: once a flush pushes it
+    past N bytes it is sealed as a numbered segment
+    (``<path>.0001``, ``.0002``, …) and a fresh active file is opened.
+    Sealing triggers compaction: all sealed segments are merged into
+    one, dropping the frame records of fully-ENDed streams (their
+    clients finished and will never retransmit — only the END line
+    itself is kept, so recovered stream/END accounting survives).  A
+    long-lived server's journal therefore grows with its *live* streams,
+    not its lifetime.  :meth:`replay` reads sealed segments oldest-first
+    and the active file last, so recovery spans rotations transparently.
     """
 
     def __init__(
-        self, path: str | Path, fsync: bool = False, batch: int = 1
+        self,
+        path: str | Path,
+        fsync: bool = False,
+        batch: int = 1,
+        rotate_bytes: int | None = None,
     ) -> None:
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
+        if rotate_bytes is not None and rotate_bytes < 1:
+            raise ValueError(f"rotate_bytes must be >= 1, got {rotate_bytes}")
         self.path = Path(path)
         self.fsync = bool(fsync)
         self.batch = int(batch)
+        self.rotate_bytes = None if rotate_bytes is None else int(rotate_bytes)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
+        #: Rotations performed by this journal instance.
+        self.rotations = 0
+        #: Frame records of ENDed streams dropped by compaction.
+        self.compacted_frames = 0
+        #: Next sealed-segment number (resumes past existing segments).
+        self._seq = 1 + max(
+            (int(seg.name.rsplit(".", 1)[1]) for seg in self.segments()),
+            default=0,
+        )
         # Unbuffered binary append: each flush is one write(2) syscall,
         # so its lines are OS-visible the moment ``write`` returns — no
         # userspace buffer beyond the explicit batch to lose on a
         # process kill, and no separate ``flush`` round-trip per record.
         self._handle = open(self.path, "ab", buffering=0)
+        self._active_bytes = self.path.stat().st_size
         self._closed = False
         self._pending: list[bytes] = []
+
+    def segments(self) -> list[Path]:
+        """Sealed segment paths in replay order (oldest first)."""
+        return sorted(
+            seg
+            for seg in self.path.parent.glob(self.path.name + ".*")
+            if seg.name.rsplit(".", 1)[1].isdigit()
+        )
 
     # -- appending -----------------------------------------------------
 
     def _append(self, entry: dict) -> None:
-        payload = json.dumps(entry, sort_keys=True, separators=(",", ":")).encode("utf-8")
-        crc = zlib.crc32(payload)
-        # "c" sorts before every other journal key, so splicing it in
-        # front keeps the line identical to a sorted re-dump (replay
-        # verifies exactly that).
-        line = b'{"c":%d,%s\n' % (crc, payload[1:])
+        line = _encode_line(entry)
         with self._lock:
             if self._closed:
                 raise ValueError("journal is closed")
@@ -243,9 +304,56 @@ class ReceiptJournal:
         lines, self._pending = self._pending, []
         if not lines:
             return
-        self._handle.write(b"".join(lines))
+        data = b"".join(lines)
+        self._handle.write(data)
         if self.fsync:
             os.fsync(self._handle.fileno())
+        self._active_bytes += len(data)
+        if self.rotate_bytes is not None and self._active_bytes >= self.rotate_bytes:
+            self._rotate_locked()
+
+    def _rotate_locked(self) -> None:
+        """Seal the active file as the next numbered segment and compact."""
+        self._handle.close()
+        os.replace(self.path, self.path.with_name(f"{self.path.name}.{self._seq:04d}"))
+        self._seq += 1
+        self._compact_locked()
+        self._handle = open(self.path, "ab", buffering=0)
+        self._active_bytes = 0
+        self.rotations += 1
+
+    def _compact_locked(self) -> None:
+        """Merge all sealed segments into one, dropping ENDed streams' frames.
+
+        Safe because an ENDed stream's client got its END ACK and is
+        done: nothing will ever be retransmitted on that stream, so its
+        dedupe set need not survive a restart.  The END line itself is
+        kept (once) — recovered-stream and END accounting still work.
+        A torn record inside a sealed segment stops that segment's parse
+        (matching replay), so compaction never resurrects garbage.
+        """
+        segs = self.segments()
+        entries: list[dict] = []
+        for seg in segs:
+            parsed, _torn = _parse_segment(seg.read_text(encoding="utf-8"))
+            entries.extend(parsed)
+        ended = {e["sid"] for e in entries if e.get("t") == "end"}
+        kept: list[bytes] = []
+        ends_written: set = set()
+        dropped = 0
+        for entry in entries:
+            if entry.get("t") == "frame" and entry["sid"] in ended:
+                dropped += 1
+                continue
+            if entry.get("t") == "end":
+                if entry["sid"] in ends_written:
+                    continue
+                ends_written.add(entry["sid"])
+            kept.append(_encode_line(entry))
+        atomic_write_bytes(segs[0], b"".join(kept), fsync=self.fsync)
+        for seg in segs[1:]:
+            seg.unlink()
+        self.compacted_frames += dropped
 
     def drain(self) -> None:
         """Flush batched appends to the OS.
@@ -272,30 +380,29 @@ class ReceiptJournal:
     # -- replay --------------------------------------------------------
 
     def replay(self) -> JournalReplay:
-        """Read back every intact record; stop at (and count) a torn tail."""
+        """Read back every intact record; stop at (and count) a torn tail.
+
+        Sealed segments are replayed oldest-first, then the active file —
+        one logical journal regardless of how many rotations happened.
+        The first torn record stops the whole replay: everything before
+        it is trusted, everything after is discarded.
+        """
         frames: list[tuple[int | str, int, int]] = []
         ended: list[int | str] = []
         torn = 0
-        try:
-            text = self.path.read_text(encoding="utf-8")
-        except OSError:
-            return JournalReplay()
-        for line in text.splitlines():
-            if not line.strip():
-                continue
+        for part in [*self.segments(), self.path]:
             try:
-                entry = json.loads(line)
-                crc = entry.pop("c")
-            except (ValueError, KeyError):
-                torn = 1
+                text = part.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            entries, torn = _parse_segment(text)
+            for entry in entries:
+                if entry.get("t") == "frame":
+                    frames.append((entry["sid"], entry["idx"], entry["crc"]))
+                elif entry.get("t") == "end":
+                    ended.append(entry["sid"])
+            if torn:
                 break
-            if _line_crc(entry) != crc:
-                torn = 1
-                break
-            if entry.get("t") == "frame":
-                frames.append((entry["sid"], entry["idx"], entry["crc"]))
-            elif entry.get("t") == "end":
-                ended.append(entry["sid"])
         return JournalReplay(tuple(frames), tuple(ended), torn)
 
     # -- lifecycle -----------------------------------------------------

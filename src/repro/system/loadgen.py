@@ -17,7 +17,11 @@ client of the fleet gets
 
 Payloads are seeded random bytes: the ingest tier's cost is framing,
 CRCs, ACK round-trips, store writes, and fault recovery — compression
-itself is benchmarked elsewhere.
+itself is benchmarked elsewhere.  Decompress-mode fleets instead need
+payloads that actually decode: :func:`compressed_fleet_payloads` builds
+real DBGC frame sequences (intra or temporal) and ``run_fleet`` accepts
+them via its ``payloads`` override, together with a ``decode_workers``
+knob for the server's decode offload tier.
 """
 
 from __future__ import annotations
@@ -37,7 +41,15 @@ from repro.system.client import DbgcClient
 from repro.system.metrics import PipelineReport
 from repro.system.server import DbgcServer
 
-__all__ = ["FleetSpec", "FleetResult", "client_payloads", "payload_contents", "run_fleet"]
+__all__ = [
+    "FleetSpec",
+    "FleetResult",
+    "client_payloads",
+    "cloud_contents",
+    "compressed_fleet_payloads",
+    "payload_contents",
+    "run_fleet",
+]
 
 
 @dataclass(frozen=True)
@@ -118,6 +130,79 @@ def payload_contents(store) -> dict[int, bytes]:
     return {index: store.get_payload(index) for index in store.frame_indices()}
 
 
+def cloud_contents(store) -> dict[int, bytes]:
+    """Every stored cloud's raw ``xyz`` bytes keyed by index.
+
+    The decompress-mode twin of :func:`payload_contents`: decoded
+    geometry is deterministic per payload, so two runs that stored the
+    same frames must compare equal byte for byte.
+    """
+    return {
+        index: store.get_cloud(index).xyz.tobytes()
+        for index in store.frame_indices()
+    }
+
+
+def compressed_fleet_payloads(
+    spec: FleetSpec,
+    sensor_scale: float = 0.3,
+    temporal: bool = False,
+    keyframe_interval: int = 4,
+    scene: str = "kitti-road",
+    q_xyz: float = 0.02,
+) -> dict[int, dict[int, bytes]]:
+    """Real compressed frame payloads for a decompress-mode fleet.
+
+    One short drive (``spec.frames_per_client`` frames, seeded by
+    ``spec.seed``) is compressed *once* — as independent intra frames,
+    or as a temporal stream with format-v3 deltas between keyframes —
+    and every client sends the same blobs on its own global index range.
+    Per-client decode work is therefore identical, each client's local
+    send order is the stream's decode order, and a serial replay decodes
+    the exact same byte sequences as the concurrent fleet.
+
+    Feed the result to :func:`run_fleet`'s ``payloads`` override.
+    """
+    # Local imports: the codec stack is heavy and only decompress-mode
+    # fleets need it.
+    from repro.core.params import DBGCParams
+    from repro.core.pipeline import DBGCCompressor
+    from repro.core.temporal import TemporalContext
+    from repro.datasets.sensors import SensorModel
+    from repro.datasets.trajectories import generate_sequence, straight
+
+    sensor = SensorModel.benchmark_default().scaled(sensor_scale)
+    trajectory = straight(spec.frames_per_client)
+    frames = list(
+        generate_sequence(scene, trajectory, sensor=sensor, seed=spec.seed + 1)
+    )
+    if temporal:
+        params = DBGCParams(
+            q_xyz=q_xyz, temporal=True, keyframe_interval=keyframe_interval
+        )
+        compressor = DBGCCompressor(params, sensor=sensor)
+        context = TemporalContext()
+        blobs = []
+        for i, cloud in enumerate(frames):
+            if i == 0:
+                ego_delta = (0.0, 0.0, 0.0)
+            else:
+                prev, cur = trajectory[i - 1], trajectory[i]
+                ego_delta = (cur[0] - prev[0], cur[1] - prev[1], 0.0)
+            blobs.append(
+                compressor.compress_temporal(
+                    cloud, context, ego_delta=ego_delta
+                ).payload
+            )
+    else:
+        compressor = DBGCCompressor(DBGCParams(q_xyz=q_xyz), sensor=sensor)
+        blobs = [compressor.compress(cloud) for cloud in frames]
+    return {
+        cid: dict(zip(spec.client_indices(cid), blobs))
+        for cid in range(spec.n_clients)
+    }
+
+
 @dataclass
 class FleetResult:
     """Outcome of one fleet run (the server object stays inspectable)."""
@@ -168,6 +253,8 @@ def run_fleet(
     concurrent: bool = True,
     receipt_journal: ReceiptJournal | str | Path | None = None,
     kill_after_frames: int | None = None,
+    decode_workers: int = 0,
+    payloads: dict[int, dict[int, bytes]] | None = None,
 ) -> FleetResult:
     """Drive ``spec.n_clients`` clients against one server over ``store``.
 
@@ -186,15 +273,25 @@ def run_fleet(
     outage; the restarted server recovers its dedupe state from the
     journal and answers retransmissions of pre-kill frames with
     DUPLICATE.
+
+    ``decode_workers=N`` sizes the server's decode offload tier
+    (``mode="decompress"`` only); after a kill, the restarted server
+    gets a fresh pool — and fresh decoder state, so mid-stream delta
+    frames quarantine until their stream's next keyframe.  ``payloads``
+    overrides the default seeded-random bytes with real frames (see
+    :func:`compressed_fleet_payloads`), keyed client id → {global frame
+    index: payload} — required for decompress mode, where random bytes
+    would only exercise the quarantine path.
     """
     if kill_after_frames is not None and receipt_journal is None:
         raise ValueError(
             "kill_after_frames requires a receipt_journal: without durable "
             "receipts the restarted server would double-ACK duplicates"
         )
-    payloads = {
-        cid: client_payloads(spec, cid) for cid in range(spec.n_clients)
-    }
+    if payloads is None:
+        payloads = {
+            cid: client_payloads(spec, cid) for cid in range(spec.n_clients)
+        }
     root = FaultyChannel(None, seed=spec.seed, spec=spec.fault_spec)
     channels = {
         cid: root.for_stream(
@@ -221,6 +318,7 @@ def run_fleet(
             channel=channels,
             max_clients=max_clients if max_clients is not None else spec.n_clients,
             receipt_journal=receipt_journal,
+            decode_workers=decode_workers,
         ).start()
 
     server = make_server()

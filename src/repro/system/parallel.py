@@ -6,13 +6,17 @@ single process cannot; frames are independent, though, so a process pool
 restores online throughput on multi-core clients.  This is a deployment
 aid, not a change to the scheme: payloads are byte-identical to the serial
 compressor's.
+
+The pool machinery — worker processes seeded via module-level state, the
+bounded in-flight window, ordered streaming — lives in
+:class:`~repro.system.pool.StickyWorkerPool`, shared with the server's
+decode offload tier.  Frames here carry no cross-frame state, so
+submissions round-robin across the slots instead of using sticky keys.
 """
 
 from __future__ import annotations
 
 import os
-from collections import deque
-from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -22,6 +26,7 @@ from repro.core.params import DBGCParams
 from repro.core.pipeline import DBGCCompressor
 from repro.datasets.sensors import SensorModel
 from repro.geometry.points import PointCloud
+from repro.system.pool import StickyWorkerPool
 
 __all__ = ["ParallelFrameCompressor"]
 
@@ -60,7 +65,10 @@ class ParallelFrameCompressor:
     ``compress_stream`` pulls frames *lazily*: at most ``2 * workers``
     frames are in flight or buffered at any moment, so an unbounded
     source — a live sensor feed — streams in constant memory instead of
-    being drained upfront.
+    being drained upfront.  A consumer that stops early (``close()`` on
+    the generator, ``break`` plus garbage collection, an exception)
+    cancels every not-yet-running frame, so a dropped iterator does not
+    leave workers grinding on payloads nobody will read.
 
     When ``params.intra_frame_workers > 1`` the two levels compose: each
     worker process also parallelizes the stages inside its frame, with the
@@ -89,11 +97,11 @@ class ParallelFrameCompressor:
         self.params = params
         self.sensor = sensor if sensor is not None else SensorModel.benchmark_default()
         self.workers = workers
-        self._pool: ProcessPoolExecutor | None = None
+        self._pool: StickyWorkerPool | None = None
 
     def __enter__(self) -> "ParallelFrameCompressor":
-        self._pool = ProcessPoolExecutor(
-            max_workers=self.workers,
+        self._pool = StickyWorkerPool(
+            self.workers,
             initializer=_init_worker,
             initargs=(self.params, self.sensor),
         )
@@ -106,6 +114,11 @@ class ParallelFrameCompressor:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    @property
+    def in_flight(self) -> int:
+        """Frames submitted but not yet finished (0 when idle or closed)."""
+        return self._pool.depth() if self._pool is not None else 0
 
     def compress_stream(
         self,
@@ -120,34 +133,19 @@ class ParallelFrameCompressor:
         """
         if self._pool is None:
             raise RuntimeError("use ParallelFrameCompressor as a context manager")
-        pool = self._pool
-        source = iter(frames)
-        # Bounded in-flight window: enough to keep every worker busy while
-        # results are drained in order, without eagerly consuming the
-        # (possibly infinite) frame iterable.
-        window = 2 * self.workers
-        pending: deque = deque()
 
-        def submit_next() -> bool:
-            try:
-                item = next(source)
-            except StopIteration:
-                return False
+        def as_args(item: Frame) -> tuple:
             if isinstance(item, tuple):
                 frame, attributes = item
             else:
                 frame, attributes = item, None
-            pending.append(
-                pool.submit(_compress_one, frame.xyz, attributes, attribute_steps)
-            )
-            return True
+            return frame.xyz, attributes, attribute_steps
 
-        while len(pending) < window and submit_next():
-            pass
-        while pending:
-            payload = pending.popleft().result()
-            submit_next()
-            yield payload
+        return self._pool.map_stream(
+            _compress_one,
+            (as_args(item) for item in frames),
+            window=2 * self.workers,
+        )
 
     def compress_all(
         self,

@@ -39,14 +39,17 @@ import socket
 import threading
 import time
 import zlib
+from concurrent.futures import CancelledError
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping
 
 from repro.core.temporal import TemporalDecoder
+from repro.geometry.points import PointCloud
 from repro.observability import recorder as _obs
 from repro.system.durability import ReceiptJournal
 from repro.system.faults import FaultyChannel
+from repro.system.pool import StickyWorkerPool, pack_array, unpack_array
 from repro.system.protocol import (
     ACK_DUPLICATE,
     ACK_FLAG_BUSY,
@@ -65,10 +68,62 @@ from repro.system.protocol import (
 )
 from repro.system.storage import FileFrameStore, ShardedFrameStore, SqliteFrameStore
 
-__all__ = ["DbgcServer", "QuarantinedFrame", "StreamState", "recv_exact"]
+__all__ = [
+    "DbgcServer",
+    "QuarantinedFrame",
+    "RemoteDecodeError",
+    "StreamState",
+    "recv_exact",
+]
 
 #: Smoothing factor of the store-write latency EWMA behind busy hints.
 _STORE_EWMA_ALPHA = 0.2
+
+
+class RemoteDecodeError(ValueError):
+    """A decode failure surfaced from a decoder worker process.
+
+    Carries the worker-side exception's ``repr`` as its sole argument
+    and *is* that repr, so a quarantine record written through the
+    offload path is byte-identical to the inline path's.
+    """
+
+    def __repr__(self) -> str:
+        return self.args[0]
+
+
+# -- decode workers (run in decoder worker processes) ------------------
+#
+# Module-level worker state, seeded by the pool initializer: each worker
+# process owns the stateful TemporalDecoder of every stream pinned to its
+# slot.  Sticky routing (StickyWorkerPool) guarantees a stream's frames
+# all land here, in arrival order, so v3 delta chains decode against the
+# right predictor state without any cross-process coordination.
+
+_WORKER_DECODERS: dict[int | str, TemporalDecoder] = {}
+
+
+def _init_decode_worker() -> None:
+    _WORKER_DECODERS.clear()
+
+
+def _decode_frame(stream_id: int | str, payload: bytes) -> tuple:
+    """Decode one frame on this stream's worker; never raises.
+
+    Returns ``("ok", meta, buffers)`` — a :func:`~repro.system.pool.
+    pack_array` split of the decoded ``xyz``, shipped out-of-band so the
+    parent rebuilds the cloud without copying — or ``("err", repr)`` on
+    failure, keeping unpicklable exceptions from wedging the pool.
+    """
+    decoder = _WORKER_DECODERS.get(stream_id)
+    if decoder is None:
+        decoder = _WORKER_DECODERS[stream_id] = TemporalDecoder()
+    try:
+        cloud = decoder.decode(payload)
+    except Exception as exc:
+        return ("err", repr(exc))
+    meta, buffers = pack_array(cloud.xyz)
+    return ("ok", meta, buffers)
 
 
 @dataclass(frozen=True)
@@ -156,7 +211,10 @@ class DbgcServer:
         server replays the journal on construction — so retransmissions
         of frames stored before a crash are answered with DUPLICATE
         instead of being stored twice.  When a path is given the server
-        owns (and closes) the journal.
+        owns (and closes) the journal; ``journal_rotate_bytes`` is then
+        forwarded as its segment-rotation threshold (see
+        :class:`~repro.system.durability.ReceiptJournal`), keeping a
+        long-lived server's journal from growing without bound.
     busy_threshold_s:
         Backpressure trigger: when the store-write latency EWMA exceeds
         this many seconds (or ``busy_depth`` writes are in flight), ACKs
@@ -170,6 +228,27 @@ class DbgcServer:
         evicted (counted in :attr:`quarantine_evicted` and the
         ``server.quarantine.evicted`` counter) so a hostile client
         cannot grow server memory without bound.
+    max_receipts:
+        Bound on :attr:`receipts` (and each stream's receipt slice),
+        mirroring ``max_quarantine``: when full, the oldest receipt is
+        evicted (counted in :attr:`receipts_evicted` and the
+        ``server.receipts.evicted`` counter) so a long-lived server's
+        receipt memory stays flat.  ``None`` disables the bound; the
+        default (4096) is far above any one batch a client reconciles
+        with ``merge_receipts``.
+    decode_workers:
+        Size of the decode offload tier (``decompress`` mode only;
+        rejected in ``store`` mode).  0 (default) decodes inline on the
+        handler thread.  N >= 1 fans decoding out to N decoder worker
+        *processes* behind a :class:`~repro.system.pool.
+        StickyWorkerPool`: the handler thread CRC-validates, dedupes,
+        and enqueues; the stream's sticky worker owns its stateful
+        :class:`~repro.core.temporal.TemporalDecoder` and decodes its
+        frames in arrival order; the handler then commits the decoded
+        cloud to the store, journals, and ACKs — so every ordering
+        contract (ACK after commit, journal between commit and ACK,
+        quarantine with the ``seen`` reservation released) is identical
+        to the inline path, and store contents are byte-identical.
 
     Thread-safety: handler threads append to :attr:`receipts`,
     :attr:`quarantine`, and :attr:`events` while the driver may read
@@ -189,6 +268,9 @@ class DbgcServer:
         busy_threshold_s: float | None = None,
         busy_depth: int | None = None,
         max_quarantine: int = 256,
+        max_receipts: int | None = 4096,
+        decode_workers: int = 0,
+        journal_rotate_bytes: int | None = None,
     ) -> None:
         if mode not in ("decompress", "store"):
             raise ValueError(f"unknown server mode {mode!r}")
@@ -196,6 +278,12 @@ class DbgcServer:
             raise ValueError(f"max_clients must be >= 1, got {max_clients}")
         if max_quarantine < 1:
             raise ValueError(f"max_quarantine must be >= 1, got {max_quarantine}")
+        if max_receipts is not None and max_receipts < 1:
+            raise ValueError(f"max_receipts must be >= 1, got {max_receipts}")
+        if decode_workers < 0:
+            raise ValueError(f"decode_workers must be >= 0, got {decode_workers}")
+        if decode_workers and mode != "decompress":
+            raise ValueError("decode_workers needs mode='decompress'")
         self.store = store
         self.mode = mode
         self.channel = channel
@@ -203,6 +291,8 @@ class DbgcServer:
         self.busy_threshold_s = busy_threshold_s
         self.busy_depth = busy_depth
         self.max_quarantine = int(max_quarantine)
+        self.max_receipts = None if max_receipts is None else int(max_receipts)
+        self.decode_workers = int(decode_workers)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         try:
@@ -239,6 +329,8 @@ class DbgcServer:
         self.busy_hints = 0
         #: Quarantine entries evicted by the ``max_quarantine`` bound.
         self.quarantine_evicted = 0
+        #: Receipts evicted by the ``max_receipts`` bound.
+        self.receipts_evicted = 0
         #: (frame_index, payload_bytes, received_at, stored_at) per stored frame.
         self.receipts: list[tuple[int, int, float, float]] = []
         #: Payloads rejected with their exception text and bytes (bounded
@@ -257,11 +349,24 @@ class DbgcServer:
                 # Batched appends keep the journal's write(2) off the ACK
                 # hot path (one syscall per 16 receipts).  The widened
                 # kill-loss window is safe here — see _ingest.
-                self.journal = ReceiptJournal(receipt_journal, batch=16)
+                self.journal = ReceiptJournal(
+                    receipt_journal, batch=16, rotate_bytes=journal_rotate_bytes
+                )
                 self._journal_owned = True
             else:
                 self.journal = receipt_journal
             self._recover_streams()
+        #: Decode offload tier: one sticky slot per decoder worker; None
+        #: in store mode or with decode_workers=0 (inline decode).  The
+        #: in-flight window bounds the decode work queue; its depth
+        #: feeds the BUSY hint alongside the store-latency EWMA.
+        self._decode_pool: StickyWorkerPool | None = None
+        if self.mode == "decompress" and self.decode_workers > 0:
+            self._decode_pool = StickyWorkerPool(
+                self.decode_workers,
+                initializer=_init_decode_worker,
+                max_in_flight=4 * self.decode_workers,
+            )
 
     def _recover_streams(self) -> None:
         """Rebuild per-stream dedupe/END state from the receipt journal.
@@ -486,18 +591,29 @@ class DbgcServer:
             _obs.count("server.duplicates")
             self._ack(conn, stream, frame_index, ACK_DUPLICATE)
             return
+        cloud: PointCloud | None = None
+        if self.mode == "decompress":
+            try:
+                cloud = self._decode(stream, payload)
+            except Exception as exc:
+                # Undecodable despite an intact CRC: quarantine, keep
+                # serving — and release the dedupe reservation so a
+                # later (possibly healthy) retransmission is re-tried.
+                with self.lock:
+                    stream.seen.discard(frame_index)
+                self._quarantine(stream, frame_index, payload, exc, received_at)
+                self._ack(conn, stream, frame_index, ACK_QUARANTINED)
+                return
         with self.lock:
             self._writes_in_flight += 1
         write_started = time.perf_counter()
         try:
-            if self.mode == "decompress":
-                with stream.decode_lock:
-                    cloud = stream.decoder.decode(payload)
+            if cloud is not None:
                 self.store.put_cloud(frame_index, cloud)
             else:
                 self.store.put_payload(frame_index, payload)
         except Exception as exc:
-            # Undecodable despite an intact CRC: quarantine, keep serving.
+            # Store refused the frame: quarantine, keep serving.
             with self.lock:
                 stream.seen.discard(frame_index)
             self._quarantine(stream, frame_index, payload, exc, received_at)
@@ -515,9 +631,19 @@ class DbgcServer:
                 )
             _obs.observe("server.store_write_s", elapsed)
         receipt = (frame_index, len(payload), received_at, time.perf_counter())
+        evicted = 0
         with self.lock:
             stream.receipts.append(receipt)
             self.receipts.append(receipt)
+            if self.max_receipts is not None:
+                while len(self.receipts) > self.max_receipts:
+                    self.receipts.pop(0)
+                    evicted += 1
+                while len(stream.receipts) > self.max_receipts:
+                    stream.receipts.pop(0)
+                self.receipts_evicted += evicted
+        if evicted:
+            _obs.count("server.receipts.evicted", evicted)
         _obs.count("server.stored")
         if self.journal is not None:
             # Journal between the store commit and the ACK — textbook
@@ -535,6 +661,44 @@ class DbgcServer:
                 payload_crc = zlib.crc32(payload)
             self.journal.append_frame(stream.stream_id, frame_index, payload_crc)
         self._ack(conn, stream, frame_index, ACK_STORED)
+
+    def _decode(self, stream: StreamState, payload: bytes) -> PointCloud:
+        """Decode one frame: inline, or on the stream's sticky decoder worker.
+
+        Either way the caller blocks until the cloud is ready — the
+        ACK-after-store-commit contract requires it — so offload gains
+        come from *different streams* decoding concurrently on different
+        workers, not from pipelining within one stop-and-wait stream.
+        """
+        decode_started = time.perf_counter()
+        pool = self._decode_pool
+        if pool is None:
+            with stream.decode_lock:
+                cloud = stream.decoder.decode(payload)
+        else:
+            # Submit under the stream's decode lock: the sticky slot's
+            # queue is FIFO, so "submitted in arrival order" becomes
+            # "decoded in arrival order" even when a reconnect races the
+            # old connection's handler.
+            with stream.decode_lock:
+                depth = pool.depth()
+                future = pool.submit(
+                    _decode_frame, stream.stream_id, payload, key=stream.stream_id
+                )
+            _obs.observe("server.decode.queue_depth", depth)
+            _obs.count(f"server.decode.worker.{pool.slot_for(stream.stream_id)}")
+            try:
+                result = future.result()
+            except CancelledError:
+                # kill() cancelled the queued work mid-flight; surface it
+                # through the ordinary quarantine path (the ACK goes to a
+                # torn-down socket and is swallowed there).
+                raise RemoteDecodeError("decode cancelled by server shutdown")
+            if result[0] != "ok":
+                raise RemoteDecodeError(result[1])
+            cloud = PointCloud._adopt(unpack_array(result[1], result[2]))
+        _obs.observe("server.decode_s", time.perf_counter() - decode_started)
+        return cloud
 
     def _quarantine(
         self,
@@ -568,9 +732,20 @@ class DbgcServer:
         return channel.get(stream_id)
 
     def _busy_now(self) -> bool:
-        """Is the store falling behind?  (Feeds the ACK BUSY hint.)"""
+        """Is the server falling behind?  (Feeds the ACK BUSY hint.)
+
+        Trips on the store-latency EWMA, on ``busy_depth`` store writes
+        in flight, or — with a decode offload tier — on ``busy_depth``
+        frames deep in the decode work queue.
+        """
         if self.busy_threshold_s is None:
             return False
+        if (
+            self.busy_depth is not None
+            and self._decode_pool is not None
+            and self._decode_pool.depth() > self.busy_depth
+        ):
+            return True
         with self.lock:
             if self._store_ewma_s > self.busy_threshold_s:
                 return True
@@ -655,6 +830,11 @@ class DbgcServer:
             except OSError:
                 pass
             conn.close()
+        if self._decode_pool is not None:
+            # No draining: queued decodes are cancelled (their handlers
+            # quarantine into the dead server object) and the workers are
+            # told to exit without being joined — kill() must not block.
+            self._decode_pool.shutdown(wait=False, cancel_futures=True)
         _obs.count("server.killed")
 
     def close(self) -> None:
@@ -681,5 +861,8 @@ class DbgcServer:
             self._thread.join(5.0)
         with self._cond:
             self._cond.wait_for(lambda: self._active == 0, timeout=5.0)
+        if self._decode_pool is not None:
+            # Handlers have drained, so no decode is in flight by now.
+            self._decode_pool.shutdown(wait=True)
         if self._journal_owned and self.journal is not None:
             self.journal.close()

@@ -115,6 +115,111 @@ def test_journal_batching_drain_and_eager_end(tmp_path):
         ReceiptJournal(path, batch=0)
 
 
+def test_journal_rotates_and_replays_across_segments(tmp_path):
+    path = tmp_path / "receipts.jsonl"
+    journal = ReceiptJournal(path, batch=1, rotate_bytes=200)
+    for i in range(12):
+        journal.append_frame("live", i, i * 7)
+    journal.drain()
+    assert journal.rotations >= 1
+    sealed = journal.segments()
+    assert sealed and all(seg.name.startswith("receipts.jsonl.") for seg in sealed)
+    # Replay walks sealed segments oldest-first, then the active file —
+    # the full history comes back exactly as if never rotated.
+    replay = journal.replay()
+    assert replay.frames == tuple(("live", i, i * 7) for i in range(12))
+    assert replay.torn == 0
+    journal.close()
+    # A reopened journal resumes the segment sequence instead of
+    # clobbering sealed files: the full history keeps replaying.
+    reopened = ReceiptJournal(path, batch=1, rotate_bytes=200)
+    for i in range(12, 18):
+        reopened.append_frame("live", i, i * 7)
+    reopened.drain()
+    assert reopened.rotations >= 1
+    assert reopened.replay().seen_by_stream() == {"live": set(range(18))}
+    reopened.close()
+    with pytest.raises(ValueError):
+        ReceiptJournal(tmp_path / "bad.jsonl", rotate_bytes=0)
+
+
+def test_journal_compaction_drops_fully_ended_streams(tmp_path):
+    path = tmp_path / "receipts.jsonl"
+    journal = ReceiptJournal(path, batch=1, rotate_bytes=150)
+    for i in range(8):
+        journal.append_frame("done", i, i)
+        journal.append_frame("live", i, i)
+    journal.append_end("done")
+    # Force one more rotation so compaction sees the END in a sealed
+    # segment and can drop the ended stream's frame records.
+    for i in range(8, 16):
+        journal.append_frame("live", i, i)
+    journal.drain()
+    assert journal.compacted_frames > 0
+    assert len(journal.segments()) == 1  # merged into one sealed segment
+    replay = journal.replay()
+    # The END survives (restart must still answer the ended stream's
+    # late END retransmissions), its frames are gone, and the live
+    # stream keeps every receipt.
+    assert "done" in replay.ended
+    assert "done" not in replay.seen_by_stream()
+    assert replay.seen_by_stream()["live"] == set(range(16))
+    journal.close()
+
+
+def test_journal_rotation_keeps_torn_tail_detection(tmp_path):
+    path = tmp_path / "receipts.jsonl"
+    with ReceiptJournal(path, batch=1, rotate_bytes=120) as journal:
+        for i in range(10):
+            journal.append_frame("s", i, i)
+    assert ReceiptJournal(path).segments()
+    # Tear the active file's last record: only that record is lost;
+    # every sealed segment still replays in full.
+    data = path.read_bytes()
+    assert data, "active segment should hold the newest records"
+    path.write_bytes(data[:-4])
+    replay = ReceiptJournal(path).replay()
+    assert replay.torn == 1
+    assert replay.seen_by_stream()["s"] == set(range(9))
+
+
+def test_server_recovers_from_rotated_journal(tmp_path):
+    journal_path = tmp_path / "receipts.jsonl"
+    payload = b"\x55\xaa" * 60
+    with SqliteFrameStore(tmp_path / "frames.sqlite") as store:
+        server = DbgcServer(
+            store,
+            mode="store",
+            receipt_journal=journal_path,
+            journal_rotate_bytes=128,
+        ).start()
+        with socket.create_connection(server.address) as sock:
+            sock.sendall(encode_record(TYPE_HELLO, 3))
+            for i in range(10):
+                assert _send_frame(sock, i, payload).flags & ACK_STATUS_MASK == (
+                    ACK_STORED
+                )
+        server.close()
+        assert list(journal_path.parent.glob("receipts.jsonl.*"))
+
+        # The restarted server replays receipts from every segment: all
+        # ten retransmissions answer DUPLICATE, nothing is re-stored.
+        restarted = DbgcServer(
+            store,
+            mode="store",
+            receipt_journal=journal_path,
+            journal_rotate_bytes=128,
+        ).start()
+        with socket.create_connection(restarted.address) as sock:
+            sock.sendall(encode_record(TYPE_HELLO, 3))
+            for i in range(10):
+                assert _send_frame(sock, i, payload).flags & ACK_STATUS_MASK == (
+                    ACK_DUPLICATE
+                )
+        restarted.close()
+        assert store.frame_indices() == list(range(10))
+
+
 def test_atomic_write_commits_or_leaves_only_tmp(tmp_path):
     target = tmp_path / "frame.bin"
     atomic_write_bytes(target, b"payload", fsync=True)

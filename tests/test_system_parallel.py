@@ -1,5 +1,7 @@
 """Tests for the parallel frame compressor."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -75,6 +77,29 @@ class TestParallel:
                 if consumed == 3:
                     break
         assert pulled <= 2 * workers + consumed
+
+    def test_abandoned_stream_cancels_pending_work(self, small_sensor):
+        # Regression: dropping a compress_stream generator mid-flight used
+        # to leave its window of submitted futures grinding in the worker
+        # processes.  Closing the generator must cancel what it can and
+        # drain in-flight work, leaving the pool reusable.
+        rng = np.random.default_rng(1)
+        template = PointCloud(rng.uniform(-5.0, 5.0, size=(150, 3)))
+
+        def endless():
+            while True:
+                yield template
+
+        with ParallelFrameCompressor(sensor=small_sensor, workers=2) as pool:
+            stream = pool.compress_stream(endless())
+            assert next(stream)
+            stream.close()  # GeneratorExit -> pending futures cancelled
+            deadline = time.monotonic() + 10.0
+            while pool.in_flight and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert pool.in_flight == 0
+            # The pool survives the abandonment: a fresh stream still works.
+            assert sum(1 for _ in pool.compress_stream([template] * 2)) == 2
 
     def test_attributes_match_serial(self, frames, small_sensor):
         # Regression: the parallel path used to rebuild PointCloud(xyz)
