@@ -30,8 +30,22 @@ recorded and a weak sanity floor guards against pathological slowdowns.
 Byte-identity against the inline serial oracle is asserted at every
 scale for both intra and temporal payloads.
 
-CI runs a reduced sweep via ``DBGC_FLEET_CLIENTS=1,2``; the committed
-baseline covers 1,2,4,8 and the comparison intersects shared keys.
+A sliding-window section (protocol v2.2) measures what pipelining the
+transport buys.  Two rows, each window=1 vs window=8, median-of-rounds
+with alternating order: a **latency-paced** store-mode stream over a
+20 ms one-way link, where stop-and-wait pays a full RTT per frame and
+the window overlaps them (gate: >= 4x aggregate fps); and a
+**pipelined-decode** decompress stream (real intra payloads,
+``decode_workers=4``) where the window keeps the server's decode pool
+fed (gate: >= 2x, again only on machines with >= 4 usable cores, with
+the same weak floor elsewhere).  Byte-identity between the windowed run
+and the window=1 serial replay is asserted on both rows — the window
+must change *when* frames fly, never *what* lands in the store.
+
+CI runs a reduced sweep via ``DBGC_FLEET_CLIENTS=1,2`` (and can trim
+``DBGC_FLEET_WINDOW`` / ``DBGC_FLEET_DECODE_WORKERS`` the same way);
+the committed baseline covers 1,2,4,8 and the comparison intersects
+shared keys.
 """
 
 import os
@@ -48,6 +62,7 @@ from repro.system import (
     compressed_fleet_payloads,
     run_fleet,
 )
+from repro.system.loadgen import payload_contents
 
 CLIENT_COUNTS = [
     int(x) for x in os.environ.get("DBGC_FLEET_CLIENTS", "1,2,4,8").split(",")
@@ -84,6 +99,29 @@ DECODE_ROUNDS = 3
 DECODE_MIN_SPEEDUP = 2.0
 DECODE_SPEC = FleetSpec(
     n_clients=DECODE_CLIENTS, frames_per_client=DECODE_FRAMES, seed=17
+)
+
+#: Sliding-window rows: window sizes to sweep (the committed baseline
+#: and CI both use 1 vs 8), stream shape, and median-of-N rounds.
+WINDOW_SIZES = [
+    int(x) for x in os.environ.get("DBGC_FLEET_WINDOW", "1,8").split(",")
+]
+WINDOW_FRAMES = 30
+#: One-way link latency for the latency-paced row: stop-and-wait pays
+#: ~2 * latency per frame, the window amortizes it.
+WINDOW_LATENCY_S = 0.02
+WINDOW_ROUNDS = 3
+#: The acceptance bar: window=8 must beat stop-and-wait by >= 4x on the
+#: latency-paced stream (8 overlapped RTTs should approach 8x).
+WINDOW_MIN_SPEEDUP = 4.0
+#: Pipelined-decode row: one stream feeding a 4-worker decode pool.
+WINDOW_DECODE_WORKERS = 4
+WINDOW_DECODE_FRAMES = 16
+#: Bar on >= 4-core machines: the window keeping the pool fed must at
+#: least double single-stream decompress throughput.
+WINDOW_DECODE_MIN_SPEEDUP = 2.0
+WINDOW_DECODE_SPEC = FleetSpec(
+    n_clients=1, frames_per_client=WINDOW_DECODE_FRAMES, seed=23
 )
 
 
@@ -155,6 +193,60 @@ def _decode_walls(payloads) -> dict[int, float]:
             wall, _ = _decode_run(payloads, n)
             walls[n].append(wall)
     return {n: statistics.median(w) for n, w in walls.items()}
+
+
+def _window_latency_run(window: int) -> tuple[float, dict[int, bytes]]:
+    """One latency-paced store-mode stream; returns (wall s, stored bytes)."""
+    spec = FleetSpec(
+        n_clients=1,
+        frames_per_client=WINDOW_FRAMES,
+        seed=3,
+        latency_s=WINDOW_LATENCY_S,
+        window=window,
+        payload_bytes=(200, 300),
+        ack_timeout=5.0,
+    )
+    with ShardedFrameStore.sqlite(N_SHARDS) as store:
+        result = run_fleet(spec, store)
+        contents = payload_contents(store)
+    assert result.n_stored == WINDOW_FRAMES, (window, result.n_stored)
+    assert result.n_dropped == 0 and result.n_quarantined == 0
+    return result.wall_s, contents
+
+
+def _window_decode_run(payloads, window: int) -> tuple[float, dict[int, bytes]]:
+    """One single-stream pipelined-decode run; returns (wall s, decoded xyz)."""
+    spec = FleetSpec(
+        n_clients=1,
+        frames_per_client=WINDOW_DECODE_FRAMES,
+        seed=WINDOW_DECODE_SPEC.seed,
+        window=window,
+    )
+    with ShardedFrameStore.sqlite(N_SHARDS) as store:
+        result = run_fleet(
+            spec,
+            store,
+            mode="decompress",
+            decode_workers=WINDOW_DECODE_WORKERS,
+            payloads=payloads,
+        )
+        contents = cloud_contents(store)
+    assert result.n_stored == WINDOW_DECODE_FRAMES, (window, result.n_stored)
+    assert result.n_dropped == 0 and result.n_quarantined == 0
+    return result.wall_s, contents
+
+
+def _window_walls(run) -> dict[int, float]:
+    """Median-of-N walls per window size, alternating the run order."""
+    walls: dict[int, list[float]] = {w: [] for w in WINDOW_SIZES}
+    for round_no in range(WINDOW_ROUNDS):
+        order = list(WINDOW_SIZES)
+        if round_no % 2:
+            order.reverse()
+        for w in order:
+            wall, _ = run(w)
+            walls[w].append(wall)
+    return {w: statistics.median(v) for w, v in walls.items()}
 
 
 def test_fleet_scaling(benchmark):
@@ -230,6 +322,52 @@ def test_fleet_scaling(benchmark):
             )
             assert cloud_contents(intra_offloaded) == cloud_contents(intra_inline)
 
+    # -- sliding-window rows (protocol v2.2) --------------------------------
+    w_low, w_high = WINDOW_SIZES[0], WINDOW_SIZES[-1]
+    # Byte-identity first: the windowed stream must store exactly what
+    # the stop-and-wait stream does, on both the raw and decoded paths.
+    _, window_low_contents = _window_latency_run(w_low)
+    _, window_high_contents = _window_latency_run(w_high)
+    assert window_high_contents == window_low_contents
+    window_decode_payloads = compressed_fleet_payloads(
+        WINDOW_DECODE_SPEC, sensor_scale=BENCH_SENSOR_SCALE
+    )
+    _, window_decode_low = _window_decode_run(window_decode_payloads, w_low)
+    _, window_decode_high = _window_decode_run(window_decode_payloads, w_high)
+    assert window_decode_high == window_decode_low
+
+    window_walls = _window_walls(_window_latency_run)
+    window_fps = {w: WINDOW_FRAMES / wall for w, wall in window_walls.items()}
+    if w_high > w_low:
+        # The latency-paced acceptance gate: pipelining must overlap the
+        # simulated RTTs, not just tie with stop-and-wait.
+        assert window_fps[w_high] >= WINDOW_MIN_SPEEDUP * window_fps[w_low], (
+            f"window pipelining too slow: {window_fps[w_low]:.1f} -> "
+            f"{window_fps[w_high]:.1f} fps at window={w_high}"
+        )
+    window_decode_walls = _window_walls(
+        lambda w: _window_decode_run(window_decode_payloads, w)
+    )
+    window_decode_fps = {
+        w: WINDOW_DECODE_FRAMES / wall for w, wall in window_decode_walls.items()
+    }
+    if w_high > w_low:
+        if len(os.sched_getaffinity(0)) >= 4:
+            # With >= 4 cores the window must keep the decode pool fed.
+            assert (
+                window_decode_fps[w_high]
+                >= WINDOW_DECODE_MIN_SPEEDUP * window_decode_fps[w_low]
+            ), (
+                f"windowed decode too slow: {window_decode_fps[w_low]:.1f} -> "
+                f"{window_decode_fps[w_high]:.1f} fps at window={w_high}"
+            )
+        else:
+            # Fewer cores: no overlap to demand, but the pipeline must
+            # not collapse throughput either.
+            assert (
+                window_decode_fps[w_high] >= 0.3 * window_decode_fps[w_low]
+            ), window_decode_fps
+
     decode_walls = _decode_walls(temporal_payloads)
     n_decode = DECODE_CLIENTS * DECODE_FRAMES
     decode_fps = {n: n_decode / wall for n, wall in decode_walls.items()}
@@ -261,6 +399,18 @@ def test_fleet_scaling(benchmark):
             f"{DECODE_CLIENTS} (decode w={n})", f"{decode_walls[n]:.2f} s",
             f"{decode_fps[n]:.1f}", f"{decode_fps[n] / decode_fps[low]:.2f}x of w={low}",
         ])
+    for w in WINDOW_SIZES:
+        rows.append([
+            f"1 (latency, window={w})", f"{window_walls[w]:.2f} s",
+            f"{window_fps[w]:.1f}",
+            f"{window_fps[w] / window_fps[w_low]:.2f}x of window={w_low}",
+        ])
+    for w in WINDOW_SIZES:
+        rows.append([
+            f"1 (decode window={w})", f"{window_decode_walls[w]:.2f} s",
+            f"{window_decode_fps[w]:.1f}",
+            f"{window_decode_fps[w] / window_decode_fps[w_low]:.2f}x of window={w_low}",
+        ])
     text = render_table(
         ["clients", "wall", "frames/sec", "speedup"],
         rows,
@@ -275,6 +425,9 @@ def test_fleet_scaling(benchmark):
     wall_times["durability_journal"] = journal_wall
     for n in DECODE_WORKER_COUNTS:
         wall_times[f"decode_workers{n}"] = decode_walls[n]
+    for w in WINDOW_SIZES:
+        wall_times[f"window{w}_latency"] = window_walls[w]
+        wall_times[f"window{w}_decode"] = window_decode_walls[w]
     sizes = {f"clients{n}_stored_bytes": results[n][2] for n in CLIENT_COUNTS}
     sizes["durability_stored_bytes"] = durability_bytes
     decode_xyz_bytes = sum(len(blob) for blob in oracle_contents.values())
@@ -282,6 +435,8 @@ def test_fleet_scaling(benchmark):
     counts = {f"clients{n}_frames": n * FRAMES for n in CLIENT_COUNTS}
     counts["durability_frames"] = n_durability
     counts["decode_frames"] = n_decode
+    counts["window_latency_frames"] = WINDOW_FRAMES
+    counts["window_decode_frames"] = WINDOW_DECODE_FRAMES
     counts["decode_points"] = decode_xyz_bytes // 24  # 3 x float64 per point
     record_bench(
         "fleet", wall_times_s=wall_times, sizes_bytes=sizes, point_counts=counts

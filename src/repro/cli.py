@@ -346,6 +346,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 overflow_policy=args.policy,
                 ack_timeout=args.ack_timeout,
                 backoff_base=0.02,
+                window=args.window,
             ) as client:
                 frames = generate_frames(
                     args.scene, args.frames, sensor=sensor, seed=args.seed
@@ -487,7 +488,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         ),
         force_disconnect_local=disconnect_local,
         bandwidth_mbps=args.bandwidth if args.bandwidth > 0 else None,
+        latency_s=args.latency,
         ack_timeout=args.ack_timeout,
+        window=args.window,
     )
     if args.kill_after > 0 and not args.receipt_journal:
         raise SystemExit("--kill-after requires --receipt-journal")
@@ -530,6 +533,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
               f"({result.frames_per_second:.1f} fps), "
               f"peak concurrency {result.server.peak_active_clients}"
               + (f", {result.restarts} server restart(s)" if result.restarts else ""))
+        merged = result.merged
+        if merged.ack_latencies:
+            print(f"ack latency: p50 {merged.ack_latency_percentile(50) * 1e3:.1f} ms, "
+                  f"p99 {merged.ack_latency_percentile(99) * 1e3:.1f} ms "
+                  f"(window {spec.window})")
         shard_bytes = store.shard_payload_bytes()
         print("shards: " + ", ".join(
             f"#{k}={nbytes}B" for k, nbytes in enumerate(shard_bytes)
@@ -686,6 +694,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--ack-timeout", type=float, default=10.0,
         help="seconds to wait for a server ACK before retransmitting",
     )
+    p.add_argument(
+        "--window", type=int, default=1,
+        help="sliding-window size: unACKed frames in flight per stream "
+        "(protocol v2.2 selective repeat; 1 = stop-and-wait)",
+    )
     p.add_argument("--fault-seed", type=int, default=0, help="fault injection seed")
     p.add_argument(
         "--corrupt-rate", type=float, default=0.0,
@@ -804,6 +817,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--ack-timeout", type=float, default=2.0,
         help="seconds to wait for a server ACK before retransmitting",
+    )
+    p.add_argument(
+        "--window", type=int, default=1,
+        help="sliding-window size per client (protocol v2.2 selective "
+        "repeat; 1 = stop-and-wait)",
+    )
+    p.add_argument(
+        "--latency", type=float, default=0.0, metavar="SECONDS",
+        help="simulated one-way link latency, charged on the ACK path "
+        "(shows the window's bandwidth×delay win on loopback)",
     )
     p.add_argument(
         "--replication", type=int, default=1,

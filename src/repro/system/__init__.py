@@ -45,6 +45,14 @@ clouds return through pickle-protocol-5 out-of-band buffers — so
 decompress-mode fleet throughput scales with cores while every ingest
 contract (ACK after commit, journaling, quarantine, dedupe, byte-
 identical store contents) stays exactly the inline path's.
+
+The pipelined transport (protocol v2.2, ``DbgcClient(window=W)``)
+overlaps send, decode, and commit *within* a stream: a selective-repeat
+sliding window keeps up to ``W`` unACKed frames in flight with
+out-of-order ACK matching and AIMD adaptation on BUSY hints, while a
+windowed decompress server submits decodes as frames arrive and a
+per-connection drainer commits and ACKs them in arrival order.
+``window=1`` reduces exactly to the classic stop-and-wait behaviour.
 """
 
 from repro.system.channel import BandwidthShaper

@@ -49,11 +49,15 @@ class BandwidthShaper:
 
     def transfer_seconds(self, n_bytes: int) -> float:
         """Simulated one-way transfer time for a payload."""
-        return self.latency_s + 8.0 * n_bytes / (self.bandwidth_mbps * 1e6)
+        return self.latency_s + self.serialization_seconds(n_bytes)
+
+    def serialization_seconds(self, n_bytes: int) -> float:
+        """Time the payload occupies the link (transfer minus latency)."""
+        return 8.0 * n_bytes / (self.bandwidth_mbps * 1e6)
 
     def sustainable_fps(self, n_bytes: int) -> float:
         """Frames per second the link sustains at this payload size."""
-        serialization = self.transfer_seconds(n_bytes) - self.latency_s
+        serialization = self.serialization_seconds(n_bytes)
         return float("inf") if serialization == 0 else 1.0 / serialization
 
     def supports(self, n_bytes: int, frames_per_second: float) -> bool:
@@ -63,11 +67,18 @@ class BandwidthShaper:
     def pace(self, n_bytes: int, started_at: float, scale: float = 1.0) -> None:
         """Sleep until the payload 'fits through' the link (live mode).
 
+        Pacing models **serialization only**: a sliding-window sender
+        keeps the pipe full, so per-frame sends must not each pay the
+        propagation delay — the client charges ``latency_s`` on the ACK
+        path instead (one way out, one way back = a full RTT), which
+        keeps the bandwidth×delay product observable without
+        serializing latencies.
+
         ``scale`` stretches or shrinks this transfer's serialization time
         around the nominal link model — fault injection uses it to model
         bandwidth jitter without mutating the shaper.
         """
-        deadline = started_at + scale * self.transfer_seconds(n_bytes)
+        deadline = started_at + scale * self.serialization_seconds(n_bytes)
         remaining = deadline - time.perf_counter()
         if remaining > 0:
             time.sleep(remaining)

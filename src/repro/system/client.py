@@ -14,6 +14,13 @@ whose delivery survives it:
   ``ack_timeout``; on timeout or disconnect the client **reconnects with
   capped exponential backoff plus jitter and retransmits** — the server
   dedupes by frame index, so retries are idempotent;
+- with ``window > 1`` the sender is a **selective-repeat sliding
+  window** (protocol v2.2): up to ``window`` unACKed frames ride the
+  link at once, ACKs are matched out of order against an in-flight
+  table, each frame carries its own retransmit deadline, and the
+  effective window adapts AIMD-style — halved when the server sets
+  ``ACK_FLAG_BUSY``, grown by one per clean ACK — so server
+  backpressure becomes congestion control instead of a blanket pause;
 - every retry, drop, quarantine, and degradation lands in the
   :class:`~repro.system.metrics.PipelineReport` for accounting.
 """
@@ -24,7 +31,7 @@ import socket
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from random import Random
 from typing import Iterable
 
@@ -47,6 +54,7 @@ from repro.system.protocol import (
     TYPE_FRAME,
     TYPE_HELLO,
     FLAG_DEGRADED,
+    Record,
     encode_record,
     read_record,
 )
@@ -64,6 +72,18 @@ class _QueuedFrame:
     trace: FrameTrace
     payload: bytes
     flags: int = 0
+
+
+@dataclass
+class _InFlight:
+    """One unACKed frame in the sliding window."""
+
+    item: _QueuedFrame
+    record: bytes = field(repr=False)
+    attempt: int = 0  # transmissions performed so far
+    sent_at: float = 0.0  # when the latest transmission hit the wire
+    deadline: float = 0.0  # retransmit if no ACK by this time
+    acks_at_send: int = 0  # link-liveness snapshot at the latest send
 
 
 class _SendQueue:
@@ -117,6 +137,15 @@ class _SendQueue:
             self._cond.notify_all()
             return item
 
+    def get_nowait(self):
+        """Pop the oldest entry, or ``None`` when the queue is empty."""
+        with self._cond:
+            if not self._items:
+                return None
+            item = self._items.popleft()
+            self._cond.notify_all()
+            return item
+
 
 class DbgcClient:
     """Compress frames and deliver them to a :class:`DbgcServer`, reliably.
@@ -131,7 +160,9 @@ class DbgcClient:
     channel:
         Optional uplink shaper (sends are paced to its bandwidth) or a
         :class:`~repro.system.faults.FaultyChannel` for deterministic
-        fault injection.
+        fault injection.  A shaper's ``latency_s`` is applied as a
+        simulated one-way delay on ACK delivery (round trip = twice the
+        latency), so the bandwidth×delay product is visible on loopback.
     queue_capacity, overflow_policy:
         Bounded send-queue size and what to do when it overflows:
         ``"block"`` the producer, ``"drop-oldest"`` (evict the stalest
@@ -144,7 +175,9 @@ class DbgcClient:
         Retransmissions allowed per frame after the first attempt; a
         frame whose retries are exhausted is recorded as dropped.
     ack_timeout, connect_timeout:
-        Seconds to wait for a server ACK / for a TCP connect.
+        Seconds to wait for a server ACK / for a TCP connect.  The ACK
+        wait is an overall per-frame deadline: stale or out-of-order
+        records shrink the remaining wait instead of resetting it.
     backoff_base, backoff_cap:
         Reconnect backoff: attempt *i* sleeps
         ``min(cap, base * 2**i) * uniform(0.5, 1.0)``.
@@ -161,10 +194,17 @@ class DbgcClient:
         give each client of a fleet its own id.
     busy_backoff_s:
         How long to honor a server BUSY hint (the backpressure bit an
-        overloaded server sets on its ACKs): the sender pauses this many
-        seconds before the next transmit, and the link counts as
-        congested for the ``"coarsen"`` policy's ``supports()`` check
-        until the pause expires.
+        overloaded server sets on its ACKs): at ``window=1`` the sender
+        pauses this many seconds before the next transmit, and the link
+        counts as congested for the ``"coarsen"`` policy's
+        ``supports()`` check until the pause expires.  At ``window>1``
+        the hint halves the congestion window instead of pausing.
+    window:
+        Maximum unACKed frames in flight (selective repeat, protocol
+        v2.2).  ``1`` (default) is the classic stop-and-wait behavior.
+        The value is advertised to the server in the HELLO record's
+        flags byte (capped at 255), and the *effective* window adapts
+        between 1 and ``window`` via AIMD on server BUSY hints.
     """
 
     def __init__(
@@ -185,6 +225,7 @@ class DbgcClient:
         connect_retries: int | None = None,
         stream_id: int = 0,
         busy_backoff_s: float = 0.05,
+        window: int = 1,
     ) -> None:
         if overflow_policy not in OVERFLOW_POLICIES:
             raise ValueError(
@@ -193,6 +234,8 @@ class DbgcClient:
             )
         if not 0 <= stream_id <= 0xFFFFFFFF:
             raise ValueError(f"stream id {stream_id} out of u32 range")
+        if not 1 <= int(window) <= 255:
+            raise ValueError(f"window must be in [1, 255], got {window}")
         # Build every resource-free attribute first: if the connect below
         # fails, __init__ raises without leaking a socket or a thread.
         self.address = address
@@ -209,8 +252,19 @@ class DbgcClient:
         self.backoff_cap = float(backoff_cap)
         self.stream_id = int(stream_id)
         self.busy_backoff_s = float(busy_backoff_s)
+        self.window = int(window)
         #: Monotonic deadline until which the server's BUSY hint holds.
         self._busy_until = 0.0
+        #: AIMD congestion window in [1, window], float so halving decays.
+        self._cwnd = float(self.window)
+        #: UnACKed frames keyed by frame index (insertion order = oldest first).
+        self._inflight: dict[int, _InFlight] = {}
+        #: Total ACK records that have arrived (link-liveness signal).
+        self._acks_seen = 0
+        #: Simulated one-way latency, applied on the ACK path as an RTT.
+        self._ack_delay_s = 2.0 * getattr(channel, "latency_s", 0.0)
+        #: ACKs waiting out the simulated RTT: (deliver_at, record).
+        self._delayed_acks: deque[tuple[float, Record]] = deque()
         self.report = PipelineReport()
         self.transport_error: BaseException | None = None
         self._rng = Random(retry_seed)
@@ -343,72 +397,88 @@ class DbgcClient:
 
     # -- sender thread ------------------------------------------------
 
-    def _sender_loop(self) -> None:
-        while True:
-            item = self._queue.get()
-            if item is _CLOSE:
-                self._send_end()
-                return
-            pause = self._busy_until - time.perf_counter()
-            if pause > 0:
-                # Server backpressure: slow down before the next transmit.
-                time.sleep(min(pause, self.busy_backoff_s))
-            try:
-                self._transmit(item)
-            except BaseException as exc:
-                # Link is beyond repair: account the frame, keep draining
-                # so close() never deadlocks on a full queue.
-                self.transport_error = exc
-                with self._lock:
-                    item.trace.status = "dropped"
-                    self.report.record(
-                        "drop", item.trace.frame_index, detail=f"transport dead: {exc!r}"
-                    )
+    def _window_now(self) -> int:
+        """The effective (AIMD-adapted) window, clamped to [1, window]."""
+        return max(1, min(self.window, int(self._cwnd)))
 
-    def _transmit(self, item: _QueuedFrame) -> None:
+    def _sender_loop(self) -> None:
+        """Selective-repeat sliding window over the frame queue.
+
+        At ``window=1`` this degenerates exactly to stop-and-wait: one
+        launch, then a blocking ACK wait whose expiry reconnects and
+        retransmits — the pre-v2.2 behavior, event for event.
+        """
+        closing = False
+        while True:
+            # Refill the window from the send queue.
+            while not closing and len(self._inflight) < self._window_now():
+                item = self._queue.get() if not self._inflight else self._queue.get_nowait()
+                if item is None:
+                    break
+                if item is _CLOSE:
+                    closing = True
+                    break
+                if self.window == 1:
+                    pause = self._busy_until - time.perf_counter()
+                    if pause > 0:
+                        # Server backpressure: slow down before transmit.
+                        time.sleep(min(pause, self.busy_backoff_s))
+                try:
+                    self._launch(item)
+                except BaseException as exc:
+                    self._transport_dead(exc)
+            if not self._inflight:
+                if closing:
+                    self._send_end()
+                    return
+                continue  # idle: go back to blocking on the queue
+            try:
+                self._pump_acks()
+            except BaseException as exc:
+                self._transport_dead(exc)
+
+    def _launch(self, item: _QueuedFrame) -> None:
+        """Enter a fresh frame into the in-flight table and send it."""
         trace = item.trace
         record = encode_record(
             TYPE_FRAME, trace.frame_index, item.payload, flags=item.flags
         )
-        faulty = self.channel if isinstance(self.channel, FaultyChannel) else None
-        for attempt in range(self.max_retries + 1):
+        entry = _InFlight(item=item, record=record)
+        self._inflight[trace.frame_index] = entry
+        self._transmit_or_recover(entry)
+
+    def _transmit_or_recover(self, entry: _InFlight) -> None:
+        """One transmission; on a link error, reconnect and resend all."""
+        try:
+            self._send_attempt(entry)
+        except (ConnectionError, TimeoutError, OSError) as exc:
             with self._lock:
-                trace.attempts = attempt + 1
-                if trace.sent_at == 0.0:
-                    trace.sent_at = time.perf_counter()
-            plan = (
-                faulty.plan(trace.frame_index, attempt, len(record))
-                if faulty is not None
-                else None
-            )
-            try:
-                self._send_record(record, plan)
-                status = self._await_ack(trace.frame_index)
-            except (ConnectionError, TimeoutError, OSError) as exc:
-                with self._lock:
-                    self.report.record(
-                        "retry", trace.frame_index, attempt, detail=repr(exc)
-                    )
-                if attempt < self.max_retries:
-                    self._reconnect()
-                continue
-            with self._lock:
-                trace.status = status
-                if status == "quarantined":
-                    self.report.record(
-                        "quarantine", trace.frame_index, attempt,
-                        detail="server rejected payload",
-                    )
-            if status == "stored":
-                _obs.count("transport.stored")
-                _obs.add_bytes("transport.sent", len(item.payload))
-            return
+                self.report.record(
+                    "retry", entry.item.trace.frame_index, entry.attempt - 1,
+                    detail=repr(exc),
+                )
+            self._recover_link()
+
+    def _send_attempt(self, entry: _InFlight) -> None:
+        """Transmit one attempt of one frame (no ACK wait)."""
+        trace = entry.item.trace
+        attempt = entry.attempt
         with self._lock:
-            trace.status = "dropped"
-            self.report.record(
-                "drop", trace.frame_index, self.max_retries,
-                detail=f"gave up after {self.max_retries + 1} attempts",
-            )
+            trace.attempts = attempt + 1
+            if trace.sent_at == 0.0:
+                trace.sent_at = time.perf_counter()
+        faulty = self.channel if isinstance(self.channel, FaultyChannel) else None
+        plan = (
+            faulty.plan(trace.frame_index, attempt, len(entry.record))
+            if faulty is not None
+            else None
+        )
+        entry.attempt = attempt + 1
+        entry.acks_at_send = self._acks_seen
+        self._send_record(entry.record, plan)
+        now = time.perf_counter()
+        entry.sent_at = now
+        entry.deadline = now + self.ack_timeout
 
     def _send_record(self, record: bytes, plan: FaultPlan | None) -> None:
         assert self._sock is not None
@@ -437,22 +507,159 @@ class DbgcClient:
             )
         self._sock.sendall(data)
 
-    def _await_ack(self, frame_index: int) -> str:
+    # -- ACK pump ------------------------------------------------------
+
+    def _read_deadline(self, deadline: float) -> Record:
+        """Read one record with the socket timeout set to what remains.
+
+        The single socket-deadline helper shared by the in-flight ACK
+        reader and the END handshake: every read gets the *shrinking*
+        remainder of an overall deadline, so a trickle of stale records
+        can never extend the total wait.
+        """
         assert self._sock is not None
-        self._sock.settimeout(self.ack_timeout)
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0:
+            raise TimeoutError(f"deadline expired {-remaining:.3f}s ago")
+        self._sock.settimeout(remaining)
+        return read_record(self._sock)
+
+    def _pump_acks(self) -> None:
+        """Wait for the next ACK or frame deadline, then settle the table."""
+        deadline = min(e.deadline for e in self._inflight.values())
+        if self._delayed_acks:
+            deadline = min(deadline, self._delayed_acks[0][0])
+        try:
+            record = self._read_deadline(deadline)
+        except TimeoutError:
+            pass  # fall through to delayed-ACK delivery and expiry
+        except (ConnectionError, OSError) as exc:
+            index, entry = next(iter(self._inflight.items()))
+            with self._lock:
+                self.report.record("retry", index, entry.attempt - 1, detail=repr(exc))
+            self._recover_link()
+            return
+        else:
+            if record.type == TYPE_ACK:
+                self._acks_seen += 1  # any ACK arrival proves the link lives
+                if self._ack_delay_s > 0.0:
+                    self._delayed_acks.append(
+                        (time.perf_counter() + self._ack_delay_s, record)
+                    )
+                else:
+                    self._deliver_ack(record)
+        while self._delayed_acks and self._delayed_acks[0][0] <= time.perf_counter():
+            self._deliver_ack(self._delayed_acks.popleft()[1])
+        self._expire_frames()
+
+    def _deliver_ack(self, record: Record) -> None:
+        """Match one ACK against the in-flight table (out-of-order OK)."""
+        entry = self._inflight.pop(record.frame_index, None)
+        busy = bool(record.flags & ACK_FLAG_BUSY)
+        if busy:
+            self._note_busy()
+        if entry is None:
+            return  # stale ACK for an attempt already resolved
+        if busy:
+            self._cwnd = max(1.0, self._cwnd / 2.0)
+        else:
+            self._cwnd = min(float(self.window), self._cwnd + 1.0)
+        trace = entry.item.trace
+        latency = time.perf_counter() - entry.sent_at
+        _obs.observe("transport.ack_latency_s", latency)
+        status = record.flags & ACK_STATUS_MASK
+        with self._lock:
+            self.report.ack_latencies.append(latency)
+            if status == ACK_QUARANTINED:
+                trace.status = "quarantined"
+                self.report.record(
+                    "quarantine", trace.frame_index, entry.attempt - 1,
+                    detail="server rejected payload",
+                )
+            else:
+                trace.status = "stored"  # fresh store or deduped retransmit
+        if status != ACK_QUARANTINED:
+            _obs.count("transport.stored")
+            _obs.add_bytes("transport.sent", len(entry.item.payload))
+
+    def _expire_frames(self) -> None:
+        """Retransmit (or give up on) every frame past its ACK deadline."""
+        now = time.perf_counter()
+        for index in list(self._inflight):
+            entry = self._inflight.get(index)
+            if entry is None or entry.deadline > now:
+                continue
+            with self._lock:
+                self.report.record(
+                    "retry", index, entry.attempt - 1,
+                    detail=f"no ACK within {self.ack_timeout:g}s",
+                )
+            if entry.attempt > self.max_retries:
+                self._drop(entry)
+                continue
+            if self._acks_seen == entry.acks_at_send:
+                # Nothing heard since this frame last hit the wire: the
+                # link itself is suspect — reconnect, resend everything.
+                self._recover_link()
+                return
+            # ACKs are flowing for other frames: selective repeat.
+            self._transmit_or_recover(entry)
+
+    def _recover_link(self) -> None:
+        """Reconnect and retransmit every unACKed frame, oldest first.
+
+        Frames that exhaust their retry budget along the way are dropped;
+        a send failure mid-replay reconnects again and resumes.  Raises
+        ``ConnectionError`` only when the link is beyond repair.
+        """
         while True:
-            record = read_record(self._sock)
-            if record.type == TYPE_ACK and record.frame_index == frame_index:
-                if record.flags & ACK_FLAG_BUSY:
-                    self._note_busy()
-                status = record.flags & ACK_STATUS_MASK
-                if status == ACK_QUARANTINED:
-                    return "quarantined"
-                return "stored"  # fresh store or deduped retransmission
-            # A stale ACK from a previous attempt/frame: keep reading.
+            self._reconnect()
+            failed = False
+            for index in list(self._inflight):
+                entry = self._inflight.get(index)
+                if entry is None:
+                    continue
+                if entry.attempt > self.max_retries:
+                    self._drop(entry)
+                    continue
+                try:
+                    self._send_attempt(entry)
+                except (ConnectionError, TimeoutError, OSError) as exc:
+                    with self._lock:
+                        self.report.record(
+                            "retry", index, entry.attempt - 1, detail=repr(exc)
+                        )
+                    failed = True
+                    break
+            if not failed:
+                return
+
+    def _drop(self, entry: _InFlight) -> None:
+        """Give up on a frame whose retry budget is exhausted."""
+        trace = entry.item.trace
+        with self._lock:
+            trace.status = "dropped"
+            self.report.record(
+                "drop", trace.frame_index, self.max_retries,
+                detail=f"gave up after {self.max_retries + 1} attempts",
+            )
+        self._inflight.pop(trace.frame_index, None)
+
+    def _transport_dead(self, exc: BaseException) -> None:
+        """The link is beyond repair: account every in-flight frame."""
+        self.transport_error = exc
+        with self._lock:
+            for entry in self._inflight.values():
+                entry.item.trace.status = "dropped"
+                self.report.record(
+                    "drop", entry.item.trace.frame_index,
+                    detail=f"transport dead: {exc!r}",
+                )
+        self._inflight.clear()
+        self._delayed_acks.clear()
 
     def _note_busy(self) -> None:
-        """Honor a server BUSY hint: pause the sender, mark congestion."""
+        """Honor a server BUSY hint: mark congestion (and pause at W=1)."""
         self._busy_until = time.perf_counter() + self.busy_backoff_s
         with self._lock:
             self.report.busy_hints += 1
@@ -475,9 +682,11 @@ class DbgcClient:
         ) from last
 
     def _hello(self) -> None:
-        """Announce this client's stream id on the current connection."""
+        """Announce stream id + window (v2.2) on the current connection."""
         assert self._sock is not None
-        self._sock.sendall(encode_record(TYPE_HELLO, self.stream_id))
+        self._sock.sendall(
+            encode_record(TYPE_HELLO, self.stream_id, flags=min(self.window, 255))
+        )
 
     def _reconnect(self) -> None:
         if self._sock is not None:
@@ -496,14 +705,15 @@ class DbgcClient:
         # END is addressed at END_ACK_INDEX, so only the server's END
         # acknowledgement — never a stale frame ACK — completes the
         # handshake.  A lost END ack is retried over a fresh connection
-        # (the server marks the stream ended idempotently).
+        # (the server marks the stream ended idempotently).  Each attempt
+        # gets one overall deadline; stale records shrink the remainder.
         for attempt in range(3):
             try:
                 assert self._sock is not None
                 self._sock.sendall(encode_record(TYPE_END, END_ACK_INDEX))
-                self._sock.settimeout(min(2.0, self.ack_timeout))
+                deadline = time.perf_counter() + min(2.0, self.ack_timeout)
                 while True:
-                    record = read_record(self._sock)
+                    record = self._read_deadline(deadline)
                     if record.type == TYPE_ACK and record.frame_index == END_ACK_INDEX:
                         return
             except (OSError, ConnectionError, TimeoutError):

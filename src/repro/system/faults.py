@@ -269,6 +269,11 @@ class FaultyChannel:
 
     # -- BandwidthShaper delegation -----------------------------------
 
+    @property
+    def latency_s(self) -> float:
+        """The wrapped shaper's one-way latency (0 on an unshaped link)."""
+        return 0.0 if self.shaper is None else self.shaper.latency_s
+
     def transfer_seconds(self, n_bytes: int) -> float:
         return 0.0 if self.shaper is None else self.shaper.transfer_seconds(n_bytes)
 

@@ -73,15 +73,27 @@ class FleetSpec:
     #: Per-client uplink bandwidth (each client gets its own shaper), or
     #: None for an unshaped loopback link.
     bandwidth_mbps: float | None = None
+    #: Simulated one-way link latency in seconds (charged on the ACK
+    #: path as a full round trip — see ``BandwidthShaper.pace``).  A
+    #: non-zero latency with ``bandwidth_mbps=None`` gets an effectively
+    #: unconstrained 10 Gbps serialization model.
+    latency_s: float = 0.0
     # Client transport knobs (see DbgcClient).
     ack_timeout: float = 2.0
     backoff_base: float = 0.01
     max_retries: int = 5
     queue_capacity: int = 8
+    #: Sliding-window size per client (protocol v2.2 selective repeat);
+    #: 1 = classic stop-and-wait.
+    window: int = 1
 
     def __post_init__(self) -> None:
         if self.n_clients < 1:
             raise ValueError(f"need at least one client, got {self.n_clients}")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.latency_s < 0:
+            raise ValueError(f"latency_s must be >= 0, got {self.latency_s}")
         if self.frames_per_client > self.index_stride:
             raise ValueError(
                 f"frames_per_client {self.frames_per_client} overflows the "
@@ -293,15 +305,22 @@ def run_fleet(
             cid: client_payloads(spec, cid) for cid in range(spec.n_clients)
         }
     root = FaultyChannel(None, seed=spec.seed, spec=spec.fault_spec)
+
+    def make_shaper() -> BandwidthShaper | None:
+        if spec.bandwidth_mbps is None and spec.latency_s == 0.0:
+            return None
+        # Latency-only links get an effectively unconstrained pipe so the
+        # round trip, not serialization, dominates.
+        return BandwidthShaper(
+            spec.bandwidth_mbps if spec.bandwidth_mbps is not None else 10_000.0,
+            latency_s=spec.latency_s,
+        )
+
     channels = {
         cid: root.for_stream(
             cid,
             spec=spec.client_fault_spec(cid),
-            shaper=(
-                BandwidthShaper(spec.bandwidth_mbps)
-                if spec.bandwidth_mbps is not None
-                else None
-            ),
+            shaper=make_shaper(),
         )
         for cid in range(spec.n_clients)
     }
@@ -366,6 +385,7 @@ def run_fleet(
                 max_retries=spec.max_retries,
                 queue_capacity=spec.queue_capacity,
                 retry_seed=cid,
+                window=spec.window,
             ) as client:
                 for index, payload in payloads[cid].items():
                     client.send_payload(index, payload)

@@ -88,6 +88,10 @@ class PipelineReport:
     #: event: hint timing depends on store latency, so it must stay out
     #: of the deterministic ``accounting_key()`` fingerprint.
     busy_hints: int = 0
+    #: Per-frame ACK round-trip latencies (seconds), one sample per
+    #: matched ACK.  Wall-clock measurements, so — like ``busy_hints`` —
+    #: excluded from ``accounting_key()``.
+    ack_latencies: list[float] = field(default_factory=list)
 
     def add(self, trace: FrameTrace) -> None:
         self.traces.append(trace)
@@ -114,6 +118,7 @@ class PipelineReport:
             merged.traces.extend(report.traces)
             merged.events.extend(report.events)
             merged.busy_hints += report.busy_hints
+            merged.ack_latencies.extend(report.ack_latencies)
         return merged
 
     @property
@@ -205,3 +210,15 @@ class PipelineReport:
     def bandwidth_mbps(self, frames_per_second: float) -> float:
         """Average link bandwidth needed at the sensor's frame rate."""
         return 8.0 * frames_per_second * self.mean_payload_bytes / 1e6
+
+    def ack_latency_percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) of ACK round-trip latency.
+
+        Nearest-rank over the collected samples; ``0.0`` when no ACK
+        latency was recorded (e.g. every frame dropped).
+        """
+        if not self.ack_latencies:
+            return 0.0
+        ordered = sorted(self.ack_latencies)
+        rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]

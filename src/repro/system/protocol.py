@@ -12,6 +12,8 @@ stream.  v2 records are self-describing and checksummed::
                         ACK:   low nibble = status (0 = stored,
                         1 = quarantined, 2 = duplicate); bit 7 = BUSY
                         (server backpressure hint, see below)
+                        HELLO: the sender's sliding window (v2.2; 0 =
+                        stop-and-wait / pre-v2.2 client)
     frame_index   u32   HELLO: the stream id; END/END-ACK: END_ACK_INDEX
     payload_len   u32
     header_crc32  u32   CRC-32 over the 14 bytes above
@@ -52,6 +54,29 @@ bit.  The client consumes the hint through its existing degradation
 machinery: it pauses its sender briefly (slow down) and treats the link
 as congested so the ``"coarsen"`` policy recompresses at a coarser error
 bound (see :class:`~repro.system.client.DbgcClient`).
+
+Sliding window (v2.2).  The wire layout is unchanged; v2.2 gives two
+existing fields pipelining semantics.  A client's ``HELLO`` advertises
+its send window in the ``flags`` byte (``min(window, 255)``; 0 from
+pre-v2.2 clients means stop-and-wait) and may then keep up to *window*
+FRAME records in flight before waiting for acknowledgements.  ACKs are
+**demultiplexed, not ordered**: each ACK's ``frame_index`` names the
+frame it settles, the client matches it against its in-flight table, and
+ACKs may arrive in any order relative to the sends (the server still
+commits and acknowledges each connection's frames in arrival order).  An
+ACK for a frame no longer in flight — a duplicate from a retransmission
+race — is ignored.  The BUSY bit becomes a *congestion signal* driving
+AIMD: on a BUSY ACK the client halves its congestion window, on a clean
+ACK it grows it by one frame, clamped to ``[1, window]``; servers set
+BUSY both on store pressure (as in v2.1) and when a stream's decode
+pipeline holds more than its advertised window of undrained frames.
+Loss recovery is selective repeat: each in-flight frame carries its own
+retransmit deadline, an expired frame is re-sent alone while the link is
+live, and after a reconnect the client replays *all* unacknowledged
+frames oldest-first (the server dedupes by frame index, so replays of
+already-committed frames are acknowledged ``DUPLICATE``).  With
+``window=1`` every rule above reduces exactly to the v2.1 stop-and-wait
+behaviour.
 """
 
 from __future__ import annotations

@@ -35,15 +35,17 @@ byte), this server is built for a lossy uplink *and* a fleet of sensors:
 
 from __future__ import annotations
 
+import queue
 import socket
 import threading
 import time
 import zlib
-from concurrent.futures import CancelledError
+from concurrent.futures import CancelledError, Future
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping
 
+from repro.core.container import container_version
 from repro.core.temporal import TemporalDecoder
 from repro.geometry.points import PointCloud
 from repro.observability import recorder as _obs
@@ -79,6 +81,11 @@ __all__ = [
 #: Smoothing factor of the store-write latency EWMA behind busy hints.
 _STORE_EWMA_ALPHA = 0.2
 
+#: Per-stream decode-pipeline cap used when a (pre-v2.2) client's HELLO
+#: advertised no window: above this many uncommitted frames the stream's
+#: ACKs carry the BUSY congestion hint.
+_DEFAULT_STREAM_INFLIGHT = 4
+
 
 class RemoteDecodeError(ValueError):
     """A decode failure surfaced from a decoder worker process.
@@ -95,29 +102,42 @@ class RemoteDecodeError(ValueError):
 # -- decode workers (run in decoder worker processes) ------------------
 #
 # Module-level worker state, seeded by the pool initializer: each worker
-# process owns the stateful TemporalDecoder of every stream pinned to its
-# slot.  Sticky routing (StickyWorkerPool) guarantees a stream's frames
-# all land here, in arrival order, so v3 delta chains decode against the
-# right predictor state without any cross-process coordination.
+# process owns the stateful TemporalDecoder of every *decode chain*
+# pinned to its slot.  A chain is one keyframe and the delta frames that
+# follow it — the temporal context resets at every keyframe, so chains
+# are self-contained.  Sticky routing (StickyWorkerPool) keys work by
+# ``(stream_id, chain_no)``: within a chain, frames land on one worker
+# in arrival order (the delta-ordering contract), while *different*
+# chains of the same stream spread least-loaded across workers — which
+# is what lets a single stream's decode throughput scale with
+# ``decode_workers`` once the client pipelines (window > 1).
 
-_WORKER_DECODERS: dict[int | str, TemporalDecoder] = {}
+_WORKER_DECODERS: dict[int | str, tuple[int, TemporalDecoder]] = {}
 
 
 def _init_decode_worker() -> None:
     _WORKER_DECODERS.clear()
 
 
-def _decode_frame(stream_id: int | str, payload: bytes) -> tuple:
-    """Decode one frame on this stream's worker; never raises.
+def _decode_frame(
+    stream_id: int | str, chain_no: int, fresh: bool, payload: bytes
+) -> tuple:
+    """Decode one frame on its chain's worker; never raises.
 
-    Returns ``("ok", meta, buffers)`` — a :func:`~repro.system.pool.
-    pack_array` split of the decoded ``xyz``, shipped out-of-band so the
-    parent rebuilds the cloud without copying — or ``("err", repr)`` on
+    ``fresh`` marks the chain's first frame: the worker starts a new
+    :class:`TemporalDecoder` for it (bounded state: one live decoder per
+    stream per worker, the previous chain's is dropped).  Returns
+    ``("ok", meta, buffers)`` — a :func:`~repro.system.pool.pack_array`
+    split of the decoded ``xyz``, shipped out-of-band so the parent
+    rebuilds the cloud without copying — or ``("err", repr)`` on
     failure, keeping unpicklable exceptions from wedging the pool.
     """
-    decoder = _WORKER_DECODERS.get(stream_id)
-    if decoder is None:
-        decoder = _WORKER_DECODERS[stream_id] = TemporalDecoder()
+    entry = _WORKER_DECODERS.get(stream_id)
+    if fresh or entry is None or entry[0] != chain_no:
+        decoder = TemporalDecoder()
+        _WORKER_DECODERS[stream_id] = (chain_no, decoder)
+    else:
+        decoder = entry[1]
     try:
         cloud = decoder.decode(payload)
     except Exception as exc:
@@ -145,6 +165,25 @@ class QuarantinedFrame:
         )
 
 
+@dataclass
+class _PendingFrame:
+    """One frame riding the per-connection decode pipeline (v2.2).
+
+    Created by the handler thread the moment a frame is CRC-validated,
+    dedupe-reserved, and submitted to the decode pool; consumed by the
+    connection's completion drainer, which commits, journals, and ACKs
+    in submission order.
+    """
+
+    stream: "StreamState"
+    frame_index: int
+    payload: bytes = field(repr=False)
+    payload_crc: int | None
+    received_at: float
+    submitted_at: float
+    future: Future
+
+
 class StreamState:
     """Per-stream ingest state, shared by all of that stream's connections.
 
@@ -159,6 +198,9 @@ class StreamState:
         "ended",
         "decoder",
         "decode_lock",
+        "window",
+        "chain_no",
+        "pending",
     )
 
     def __init__(self, stream_id: int | str) -> None:
@@ -171,6 +213,15 @@ class StreamState:
         self.receipts: list[tuple[int, int, float, float]] = []
         #: True once the stream's END record arrived.
         self.ended = False
+        #: Sliding window the client advertised in HELLO flags (v2.2);
+        #: 0 = unknown (pre-v2.2 client).
+        self.window = 0
+        #: Decode-chain counter (pipelined offload routing): bumped at
+        #: every keyframe; -1 until the stream's first frame arrives.
+        self.chain_no = -1
+        #: Frames submitted to the decode pipeline but not yet committed
+        #: (feeds the per-stream BUSY congestion hint).
+        self.pending = 0
         #: Stateful per-stream decoder (decompress mode): carries the
         #: temporal predictor between this stream's frames.  In-memory
         #: only — a restarted server starts blank, so delta frames are
@@ -242,13 +293,16 @@ class DbgcServer:
         handler thread.  N >= 1 fans decoding out to N decoder worker
         *processes* behind a :class:`~repro.system.pool.
         StickyWorkerPool`: the handler thread CRC-validates, dedupes,
-        and enqueues; the stream's sticky worker owns its stateful
-        :class:`~repro.core.temporal.TemporalDecoder` and decodes its
-        frames in arrival order; the handler then commits the decoded
-        cloud to the store, journals, and ACKs — so every ordering
-        contract (ACK after commit, journal between commit and ACK,
-        quarantine with the ``seen`` reservation released) is identical
-        to the inline path, and store contents are byte-identical.
+        and submits decodes *as frames arrive* (v2.2 pipelined ingest),
+        keyed by decode chain — a keyframe and its following deltas pin
+        to one worker's stateful :class:`~repro.core.temporal.
+        TemporalDecoder` in arrival order, while successive chains
+        spread least-loaded across workers; a per-connection completion
+        drainer then commits each decoded cloud to the store, journals,
+        and ACKs in submission order — so every ordering contract (ACK
+        after commit, journal between commit and ACK, quarantine with
+        the ``seen`` reservation released) is identical to the inline
+        path, and store contents are byte-identical.
 
     Thread-safety: handler threads append to :attr:`receipts`,
     :attr:`quarantine`, and :attr:`events` while the driver may read
@@ -514,57 +568,141 @@ class DbgcServer:
             return list(state.receipts) if state is not None else []
 
     def _handle_connection(self, conn: socket.socket, number: int) -> None:
-        """Serve one connection until its stream ends or the link drops."""
+        """Serve one connection until its stream ends or the link drops.
+
+        With a decode pool (v2.2 pipelined ingest), the handler thread
+        no longer blocks per frame: it CRC-validates, dedupe-reserves,
+        and *submits* each decode, while a per-connection completion
+        drainer thread commits/journals/ACKs in submission order.  A
+        shared send lock serializes the drainer's frame ACKs with the
+        handler's own DUPLICATE / CRC-quarantine ACKs on the one socket.
+        """
         stream: StreamState | None = None
-        while not self._stop.is_set():
-            try:
-                record = read_record(conn)
-            except CorruptPayloadError as exc:
-                received_at = time.perf_counter()
+        send_lock = threading.Lock()
+        pipeline: queue.Queue | None = None
+        drainer: threading.Thread | None = None
+
+        def ensure_pipeline() -> queue.Queue:
+            nonlocal pipeline, drainer
+            if pipeline is None:
+                pipeline = queue.Queue()
+                drainer = threading.Thread(
+                    target=self._drain_pipeline,
+                    args=(conn, send_lock, pipeline),
+                    daemon=True,
+                )
+                drainer.start()
+            return pipeline
+
+        def stop_pipeline() -> None:
+            # Drain every submitted frame (commit + ACK), then park the
+            # drainer.  Called before the END ACK so end-of-stream is
+            # still the last thing the client hears, and on any exit so
+            # no pending commit is orphaned by a disconnect.
+            nonlocal pipeline, drainer
+            if pipeline is not None:
+                pipeline.put(None)
+                drainer.join()
+                pipeline = None
+                drainer = None
+
+        try:
+            while not self._stop.is_set():
+                try:
+                    record = read_record(conn)
+                except CorruptPayloadError as exc:
+                    received_at = time.perf_counter()
+                    if stream is None:
+                        stream = self._stream(f"conn-{number}")
+                    self._quarantine(
+                        stream, exc.frame_index, exc.payload, exc, received_at
+                    )
+                    self._ack(conn, stream, exc.frame_index, ACK_QUARANTINED, send_lock)
+                    continue
+                except (ConnectionError, TimeoutError, ProtocolError, OSError) as exc:
+                    self._note("disconnect", repr(exc))
+                    return
+                if record.resync_skipped:
+                    self._note(
+                        "resync", f"skipped {record.resync_skipped} garbage bytes"
+                    )
+                if record.type == TYPE_HELLO:
+                    stream = self._stream(record.frame_index)
+                    if record.flags:
+                        # v2.2: the flags byte advertises the client's
+                        # sliding window (caps the BUSY-hint threshold).
+                        with self.lock:
+                            stream.window = record.flags
+                    self._note(
+                        "hello",
+                        f"stream {record.frame_index} on connection {number}"
+                        + (f" (window {record.flags})" if record.flags else ""),
+                    )
+                    continue
                 if stream is None:
+                    # v2.0 compatibility: frames without a HELLO get a stream
+                    # scoped to this connection (no dedupe across reconnects).
                     stream = self._stream(f"conn-{number}")
-                self._quarantine(stream, exc.frame_index, exc.payload, exc, received_at)
-                self._ack(conn, stream, exc.frame_index, ACK_QUARANTINED)
-                continue
-            except (ConnectionError, TimeoutError, ProtocolError, OSError) as exc:
-                self._note("disconnect", repr(exc))
-                return
-            if record.resync_skipped:
-                self._note("resync", f"skipped {record.resync_skipped} garbage bytes")
-            if record.type == TYPE_HELLO:
-                stream = self._stream(record.frame_index)
-                self._note(
-                    "hello", f"stream {record.frame_index} on connection {number}"
-                )
-                continue
-            if stream is None:
-                # v2.0 compatibility: frames without a HELLO get a stream
-                # scoped to this connection (no dedupe across reconnects).
-                stream = self._stream(f"conn-{number}")
-            if record.type == TYPE_END:
-                first_end = False
-                with self._cond:
-                    if not stream.ended:
-                        stream.ended = True
-                        self._ends_seen += 1
-                        first_end = True
-                    self._cond.notify_all()
-                self._note("end", f"stream {stream.stream_id}")
-                if first_end:
-                    _obs.count("server.streams.ended")
-                if first_end and self.journal is not None:
-                    # Before the ACK (write-ahead ordering); a lost
-                    # append only means the client re-ENDs after a
-                    # restart, which is idempotent.
-                    self.journal.append_end(stream.stream_id)
-                self._ack(conn, stream, END_ACK_INDEX, ACK_STORED)
-                return
-            if record.type == TYPE_FRAME:
-                self._ingest(
-                    conn, stream, record.frame_index, record.payload,
-                    record.payload_crc,
-                )
-            # Anything else (stray ACK echoes) is ignored.
+                if record.type == TYPE_END:
+                    stop_pipeline()
+                    first_end = False
+                    with self._cond:
+                        if not stream.ended:
+                            stream.ended = True
+                            self._ends_seen += 1
+                            first_end = True
+                        self._cond.notify_all()
+                    self._note("end", f"stream {stream.stream_id}")
+                    if first_end:
+                        _obs.count("server.streams.ended")
+                    if first_end and self.journal is not None:
+                        # Before the ACK (write-ahead ordering); a lost
+                        # append only means the client re-ENDs after a
+                        # restart, which is idempotent.
+                        self.journal.append_end(stream.stream_id)
+                    self._ack(conn, stream, END_ACK_INDEX, ACK_STORED, send_lock)
+                    return
+                if record.type == TYPE_FRAME:
+                    if self._decode_pool is not None and self.mode == "decompress":
+                        self._ingest_pipelined(
+                            conn, send_lock, ensure_pipeline(), stream,
+                            record.frame_index, record.payload, record.payload_crc,
+                        )
+                    else:
+                        self._ingest(
+                            conn, stream, record.frame_index, record.payload,
+                            record.payload_crc, send_lock,
+                        )
+                # Anything else (stray ACK echoes) is ignored.
+        finally:
+            stop_pipeline()
+
+    def _reserve(
+        self,
+        conn: socket.socket,
+        stream: StreamState,
+        frame_index: int,
+        payload: bytes,
+        send_lock: threading.Lock | None,
+    ) -> bool:
+        """Dedupe-reserve one arriving frame; False = duplicate (ACKed).
+
+        The index is reserved before the store write (or decode submit)
+        so a concurrent retransmission — on another connection *or*
+        arriving behind it in this connection's pipeline — dedupes
+        against it.
+        """
+        _obs.count("server.ingress")
+        _obs.add_bytes("server.ingress", len(payload))
+        with self.lock:
+            if frame_index not in stream.seen:
+                stream.seen.add(frame_index)
+                return True
+        # Retransmission of a frame that already made it: idempotent.
+        self._note("duplicate", f"frame {frame_index}")
+        _obs.count("server.duplicates")
+        self._ack(conn, stream, frame_index, ACK_DUPLICATE, send_lock)
+        return False
 
     def _ingest(
         self,
@@ -573,28 +711,18 @@ class DbgcServer:
         frame_index: int,
         payload: bytes,
         payload_crc: int | None = None,
+        send_lock: threading.Lock | None = None,
     ) -> None:
+        """Serial (store-mode or inline-decode) ingest: one frame, blocking."""
         received_at = time.perf_counter()
-        _obs.count("server.ingress")
-        _obs.add_bytes("server.ingress", len(payload))
-        with self.lock:
-            if frame_index in stream.seen:
-                duplicate = True
-            else:
-                # Reserve the index before the store write so a concurrent
-                # retransmission on another connection dedupes against it.
-                stream.seen.add(frame_index)
-                duplicate = False
-        if duplicate:
-            # Retransmission of a frame that already made it: idempotent.
-            self._note("duplicate", f"frame {frame_index}")
-            _obs.count("server.duplicates")
-            self._ack(conn, stream, frame_index, ACK_DUPLICATE)
+        if not self._reserve(conn, stream, frame_index, payload, send_lock):
             return
         cloud: PointCloud | None = None
         if self.mode == "decompress":
+            decode_started = time.perf_counter()
             try:
-                cloud = self._decode(stream, payload)
+                with stream.decode_lock:
+                    cloud = stream.decoder.decode(payload)
             except Exception as exc:
                 # Undecodable despite an intact CRC: quarantine, keep
                 # serving — and release the dedupe reservation so a
@@ -602,8 +730,132 @@ class DbgcServer:
                 with self.lock:
                     stream.seen.discard(frame_index)
                 self._quarantine(stream, frame_index, payload, exc, received_at)
-                self._ack(conn, stream, frame_index, ACK_QUARANTINED)
+                self._ack(conn, stream, frame_index, ACK_QUARANTINED, send_lock)
                 return
+            _obs.observe("server.decode_s", time.perf_counter() - decode_started)
+        self._commit(
+            conn, stream, frame_index, payload, payload_crc, received_at, cloud,
+            send_lock,
+        )
+
+    def _ingest_pipelined(
+        self,
+        conn: socket.socket,
+        send_lock: threading.Lock,
+        pipeline: queue.Queue,
+        stream: StreamState,
+        frame_index: int,
+        payload: bytes,
+        payload_crc: int | None,
+    ) -> None:
+        """Pipelined (decode-pool) ingest: validate, reserve, submit — no wait.
+
+        Decode routing is by *chain*: every keyframe (intra container)
+        starts a new ``(stream_id, chain_no)`` key, routed least-loaded,
+        while delta frames (container v3) stay on the current chain's
+        worker — so one pipelining client saturates many decode workers
+        without ever decoding a delta out of order.  A payload that
+        doesn't sniff as any container stays on the current chain too:
+        it will fail decode *there*, leaving that chain's decoder state
+        exactly as the inline path would.
+        """
+        received_at = time.perf_counter()
+        if not self._reserve(conn, stream, frame_index, payload, send_lock):
+            return
+        pool = self._decode_pool
+        assert pool is not None
+        # Submit under the stream's decode lock: the sticky slot's queue
+        # is FIFO, so "submitted in arrival order" becomes "decoded in
+        # arrival order" even when a reconnect races the old
+        # connection's handler.
+        with stream.decode_lock:
+            try:
+                delta = container_version(payload) == 3
+            except Exception:
+                delta = True  # undecodable: keep it inside the current chain
+            fresh = (not delta) or stream.chain_no < 0
+            if fresh:
+                stream.chain_no += 1
+            chain = (stream.stream_id, stream.chain_no)
+            depth = pool.depth()
+            submitted_at = time.perf_counter()
+            future = pool.submit(
+                _decode_frame, stream.stream_id, stream.chain_no, fresh, payload,
+                key=chain,
+            )
+        with self.lock:
+            stream.pending += 1
+        _obs.observe("server.decode.queue_depth", depth)
+        _obs.count(f"server.decode.worker.{pool.slot_for(chain)}")
+        pipeline.put(
+            _PendingFrame(
+                stream, frame_index, payload, payload_crc, received_at,
+                submitted_at, future,
+            )
+        )
+
+    def _drain_pipeline(
+        self, conn: socket.socket, send_lock: threading.Lock, pipeline: queue.Queue
+    ) -> None:
+        """Per-connection completion drainer: commit/journal/ACK in order.
+
+        Runs on its own thread; consumes :class:`_PendingFrame` entries
+        in submission order (per chain that equals decode-completion
+        order — the sticky slots are FIFO) until the ``None`` sentinel.
+        """
+        while True:
+            entry = pipeline.get()
+            if entry is None:
+                return
+            _obs.observe("server.ack_queue_depth", pipeline.qsize())
+            try:
+                self._commit_decoded(conn, send_lock, entry)
+            finally:
+                with self.lock:
+                    entry.stream.pending -= 1
+
+    def _commit_decoded(
+        self, conn: socket.socket, send_lock: threading.Lock, entry: _PendingFrame
+    ) -> None:
+        """Settle one pipelined frame once its decode future resolves."""
+        stream, frame_index = entry.stream, entry.frame_index
+        try:
+            result = entry.future.result()
+        except CancelledError:
+            # kill() cancelled the queued work mid-flight; surface it
+            # through the ordinary quarantine path (the ACK goes to a
+            # torn-down socket and is swallowed there).
+            result = None
+        if result is None or result[0] != "ok":
+            exc: Exception = (
+                RemoteDecodeError("decode cancelled by server shutdown")
+                if result is None
+                else RemoteDecodeError(result[1])
+            )
+            with self.lock:
+                stream.seen.discard(frame_index)
+            self._quarantine(stream, frame_index, entry.payload, exc, entry.received_at)
+            self._ack(conn, stream, frame_index, ACK_QUARANTINED, send_lock)
+            return
+        _obs.observe("server.decode_s", time.perf_counter() - entry.submitted_at)
+        cloud = PointCloud._adopt(unpack_array(result[1], result[2]))
+        self._commit(
+            conn, stream, frame_index, entry.payload, entry.payload_crc,
+            entry.received_at, cloud, send_lock,
+        )
+
+    def _commit(
+        self,
+        conn: socket.socket,
+        stream: StreamState,
+        frame_index: int,
+        payload: bytes,
+        payload_crc: int | None,
+        received_at: float,
+        cloud: PointCloud | None,
+        send_lock: threading.Lock | None,
+    ) -> None:
+        """Store-commit, receipt, journal, ACK — in exactly that order."""
         with self.lock:
             self._writes_in_flight += 1
         write_started = time.perf_counter()
@@ -617,7 +869,7 @@ class DbgcServer:
             with self.lock:
                 stream.seen.discard(frame_index)
             self._quarantine(stream, frame_index, payload, exc, received_at)
-            self._ack(conn, stream, frame_index, ACK_QUARANTINED)
+            self._ack(conn, stream, frame_index, ACK_QUARANTINED, send_lock)
             return
         finally:
             elapsed = time.perf_counter() - write_started
@@ -660,45 +912,7 @@ class DbgcServer:
             if payload_crc is None:
                 payload_crc = zlib.crc32(payload)
             self.journal.append_frame(stream.stream_id, frame_index, payload_crc)
-        self._ack(conn, stream, frame_index, ACK_STORED)
-
-    def _decode(self, stream: StreamState, payload: bytes) -> PointCloud:
-        """Decode one frame: inline, or on the stream's sticky decoder worker.
-
-        Either way the caller blocks until the cloud is ready — the
-        ACK-after-store-commit contract requires it — so offload gains
-        come from *different streams* decoding concurrently on different
-        workers, not from pipelining within one stop-and-wait stream.
-        """
-        decode_started = time.perf_counter()
-        pool = self._decode_pool
-        if pool is None:
-            with stream.decode_lock:
-                cloud = stream.decoder.decode(payload)
-        else:
-            # Submit under the stream's decode lock: the sticky slot's
-            # queue is FIFO, so "submitted in arrival order" becomes
-            # "decoded in arrival order" even when a reconnect races the
-            # old connection's handler.
-            with stream.decode_lock:
-                depth = pool.depth()
-                future = pool.submit(
-                    _decode_frame, stream.stream_id, payload, key=stream.stream_id
-                )
-            _obs.observe("server.decode.queue_depth", depth)
-            _obs.count(f"server.decode.worker.{pool.slot_for(stream.stream_id)}")
-            try:
-                result = future.result()
-            except CancelledError:
-                # kill() cancelled the queued work mid-flight; surface it
-                # through the ordinary quarantine path (the ACK goes to a
-                # torn-down socket and is swallowed there).
-                raise RemoteDecodeError("decode cancelled by server shutdown")
-            if result[0] != "ok":
-                raise RemoteDecodeError(result[1])
-            cloud = PointCloud._adopt(unpack_array(result[1], result[2]))
-        _obs.observe("server.decode_s", time.perf_counter() - decode_started)
-        return cloud
+        self._ack(conn, stream, frame_index, ACK_STORED, send_lock)
 
     def _quarantine(
         self,
@@ -731,13 +945,25 @@ class DbgcServer:
             return channel
         return channel.get(stream_id)
 
-    def _busy_now(self) -> bool:
+    def _busy_now(self, stream: StreamState | None = None) -> bool:
         """Is the server falling behind?  (Feeds the ACK BUSY hint.)
 
         Trips on the store-latency EWMA, on ``busy_depth`` store writes
         in flight, or — with a decode offload tier — on ``busy_depth``
-        frames deep in the decode work queue.
+        frames deep in the decode work queue.  With a pipelined stream
+        (v2.2) it additionally trips when that stream's uncommitted
+        in-flight count exceeds its advertised window — the per-stream
+        congestion signal the client's AIMD halves on — independent of
+        ``busy_threshold_s``.
         """
+        if (
+            stream is not None
+            and self._decode_pool is not None
+        ):
+            cap = stream.window or _DEFAULT_STREAM_INFLIGHT
+            with self.lock:
+                if stream.pending > cap:
+                    return True
         if self.busy_threshold_s is None:
             return False
         if (
@@ -755,7 +981,12 @@ class DbgcServer:
             )
 
     def _ack(
-        self, conn: socket.socket, stream: StreamState, frame_index: int, status: int
+        self,
+        conn: socket.socket,
+        stream: StreamState,
+        frame_index: int,
+        status: int,
+        send_lock: threading.Lock | None = None,
     ) -> None:
         channel = self._channel_for(stream.stream_id)
         if channel is not None:
@@ -765,13 +996,20 @@ class DbgcServer:
             if channel.drop_ack(frame_index, ordinal):
                 return  # injected ACK loss; the client will retransmit
         flags = status
-        if self._busy_now():
+        if self._busy_now(stream):
             flags |= ACK_FLAG_BUSY
             with self.lock:
                 self.busy_hints += 1
             _obs.count("server.busy_hints")
+        data = encode_record(TYPE_ACK, frame_index, flags=flags)
         try:
-            conn.sendall(encode_record(TYPE_ACK, frame_index, flags=flags))
+            # The drainer and the handler share one socket (v2.2): the
+            # send lock keeps their ACK records from interleaving.
+            if send_lock is not None:
+                with send_lock:
+                    conn.sendall(data)
+            else:
+                conn.sendall(data)
         except OSError:
             pass  # client already gone; it will retransmit on reconnect
 
